@@ -1,0 +1,92 @@
+// Experiment E4 — Figure 2 / Theorem 2: m/u-degradable agreement is
+// impossible with N = 2m+u nodes.
+//
+// The harness replays the proof's three fault scenarios on the 4-node
+// system (m=1, u=2 — one node short of the 5 the bound demands), shows
+// the two indistinguishability pairs as byte-identical per-node message
+// transcripts, and exhibits the resulting D.3 violation in scenario (c).
+// The group-simulation lift of Part II is replayed at larger N = 2m+u.
+
+#include <cstdio>
+
+#include "core/agreement.hpp"
+#include "faults/figure2.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using da::faults::figure2::Scenario;
+
+struct Executed {
+  da::Outcome outcome;
+  da::sim::Trace trace;
+  da::ConditionReport report;
+};
+
+Executed execute(const Scenario& scenario) {
+  Executed e;
+  const da::DegradableAgreement protocol(scenario.spec.config);
+  da::RunExtras extras;
+  extras.trace = &e.trace;
+  e.outcome = protocol.run(scenario.spec, scenario.adversary.get(), extras);
+  e.report = da::check_conditions(scenario.spec, e.outcome.decisions);
+  return e;
+}
+
+void run_at(int n) {
+  std::printf("--- N = %d (config 1/%d-degradable: needs %d nodes) ---\n", n,
+              n - 2, n + 1);
+  const auto sa = da::faults::figure2::scenario_a(n);
+  const auto sb = da::faults::figure2::scenario_b(n);
+  const auto sc = da::faults::figure2::scenario_c(n);
+  const Executed ea = execute(sa);
+  const Executed eb = execute(sb);
+  const Executed ec = execute(sc);
+
+  da::Table table({"scenario", "faulty", "condition", "satisfied",
+                   "decision(A=1)", "decision(B=2)"});
+  const auto row = [&table](const Scenario& s, const Executed& e) {
+    std::string faulty;
+    for (da::NodeId id : s.spec.faulty) {
+      faulty += (faulty.empty() ? "" : ",") + std::to_string(id);
+    }
+    const auto decision_str = [&e, &s](da::NodeId id) {
+      return s.spec.is_faulty(id) ? std::string("(faulty)")
+                                  : e.outcome.decision_of(id).to_string();
+    };
+    table.row(s.name, faulty, da::to_string(e.report.applied),
+              e.report.satisfied ? "yes" : "NO", decision_str(1),
+              decision_str(2));
+  };
+  row(sa, ea);
+  row(sb, eb);
+  row(sc, ec);
+  table.print();
+
+  std::printf(
+      "indistinguishability: B's transcript (a) == (b): %s;  A's (b) == (c): "
+      "%s\n",
+      ea.trace.indistinguishable_for(2, eb.trace) ? "IDENTICAL" : "differs",
+      eb.trace.indistinguishable_for(1, ec.trace) ? "IDENTICAL" : "differs");
+  std::printf(
+      "=> node A is forced to beta in (c), but D.3 allows only alpha or "
+      "V_d: %s\n\n",
+      ec.report.satisfied ? "??? (expected a violation)" : "VIOLATION, QED");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("E4: Theorem 2 lower bound, Figure 2 made executable");
+  std::printf("    alpha = %s, beta = %s, both distinct from V_d\n\n",
+              da::faults::figure2::kAlpha.to_string().c_str(),
+              da::faults::figure2::kBeta.to_string().c_str());
+
+  run_at(4);  // the figure itself
+  run_at(6);  // Part II group lift
+  run_at(8);
+
+  std::puts("With one more node (N = 2m+u+1) the exhaustive sweeps of");
+  std::puts("bench_table_min_nodes find no violation: the bound is tight.");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Experiment E8 — the Bhandari comparison (Section 2).
+//
+// Bhandari proved that interactive-consistency algorithms cannot degrade
+// gracefully past N/3 faults. Degradable agreement sidesteps the result by
+// weakening the target: with m < (N-1)/3 it keeps >= m+1 fault-free nodes
+// agreeing all the way to u > N/3.
+//
+// We run both on 7 nodes and measure the retained agreement as f grows:
+//   - IC with m = 2 (the max for N = 7): size of the largest group of
+//     fault-free nodes holding *identical vectors*;
+//   - 1/4-degradable agreement: size of the largest group of fault-free
+//     nodes (sender included) agreeing on one value.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/agreement.hpp"
+#include "faults/adversaries.hpp"
+#include "protocols/ic/interactive_consistency.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr int kN = 7;
+constexpr int kTrials = 15;
+
+int ic_retained(int f, std::uint64_t seed) {
+  int worst = kN;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    da::Rng rng(da::mix64(seed, static_cast<std::uint64_t>(trial)));
+    std::vector<da::Value> inputs;
+    for (int i = 0; i < kN; ++i) inputs.push_back(da::Value::of(100 + i));
+    std::vector<da::NodeId> faulty;
+    for (const int x : rng.subset(kN, f)) faulty.push_back(x);
+
+    const auto result = da::protocols::ic::run_interactive_consistency(
+        kN, 2, inputs, faulty, [&rng](da::NodeId sender) {
+          return da::faults::pivot_equivocator(
+              da::Value::of(40 + sender), da::Value::of(50 + sender),
+              static_cast<da::NodeId>(kN / 2));
+        });
+    worst = std::min(worst, da::protocols::ic::largest_identical_vector_group(
+                                result, faulty, kN));
+  }
+  return worst;
+}
+
+int degradable_retained(int f, std::uint64_t seed) {
+  const da::Config config{.n = kN, .m = 1, .u = 4};
+  const da::DegradableAgreement protocol(config);
+  int worst = kN;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    da::Rng rng(da::mix64(seed * 13, static_cast<std::uint64_t>(trial)));
+    da::ScenarioSpec spec;
+    spec.config = config;
+    spec.sender = 0;
+    spec.sender_value = da::Value::of(11);
+    const auto subset = rng.subset(kN, f);
+    spec.faulty.assign(subset.begin(), subset.end());
+    auto adversary = da::faults::pivot_equivocator(
+        da::Value::of(11), da::Value::of(5), static_cast<da::NodeId>(kN / 2));
+    const auto report = protocol.run_and_check(spec, adversary.get());
+    worst = std::min(worst, report.largest_agreeing_class);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("E8: graceful degradation — interactive consistency vs");
+  std::puts("    1/4-degradable agreement on 7 nodes (worst over trials)\n");
+
+  da::Table table({"f", "regime (N/3 = 2.33)", "IC(m=2): identical vectors",
+                   "1/4-deg: agreeing class", "guarantee (m+1)"});
+  for (int f = 0; f <= 4; ++f) {
+    const int ic = ic_retained(f, 900 + static_cast<std::uint64_t>(f));
+    const int deg = degradable_retained(f, 800 + static_cast<std::uint64_t>(f));
+    table.row(f, f * 3 <= kN ? "f <= N/3" : "f > N/3", ic, deg,
+              f <= 4 ? 2 : 0);
+  }
+  table.print();
+
+  std::puts("\nReading: IC keeps all fault-free vectors identical while");
+  std::puts("f <= 2 = N_max_m, then collapses (Bhandari) — the worst-case");
+  std::puts("identical group can fall to 1. Degradable agreement holds its");
+  std::puts("promised >= m+1 = 2 agreeing fault-free nodes through f = u = 4,");
+  std::puts("more than a third of the system.");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Experiment E9 — protocol costs (google-benchmark suite).
+//
+// The paper gives only asymptotics ("no attempt is made here to present an
+// efficient algorithm"): BYZ(m,m) sends Theta(N^{m+1}) messages over m+1
+// rounds. This suite measures wall time and message volume of:
+//   - BYZ(m,m) on the deterministic simulator, across N and m;
+//   - BYZ(m,m) on the thread-per-node runtime (real barriers/mailboxes);
+//   - Lamport OM(m) over the same substrate (identical message pattern,
+//     cheaper resolve);
+//   - Crusader (2 rounds regardless of m);
+//   - the VOTE primitive and EIG-tree resolution in isolation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/agreement.hpp"
+#include "faults/adversaries.hpp"
+#include "protocols/common/vote.hpp"
+#include "protocols/crusader/crusader.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+da::ScenarioSpec make_spec(const da::Config& config, int f) {
+  da::ScenarioSpec spec;
+  spec.config = config;
+  spec.sender = 0;
+  spec.sender_value = da::Value::of(17);
+  for (int i = 0; i < f; ++i) spec.faulty.push_back(i + 1);
+  return spec;
+}
+
+void BM_ByzSimulator(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const da::Config config{.n = n, .m = m, .u = n - 2 * m - 1};
+  const da::DegradableAgreement protocol(config);
+  const auto spec = make_spec(config, m);
+  auto adversary = da::faults::equivocator(da::Value::of(17),
+                                           da::Value::of(5));
+  std::size_t messages = 0;
+  for (auto _ : state) {
+    const auto outcome = protocol.run(spec, adversary.get());
+    messages = outcome.messages_sent;
+    benchmark::DoNotOptimize(outcome.decisions);
+  }
+  state.counters["messages"] = static_cast<double>(messages);
+  state.counters["rounds"] = protocol.rounds();
+}
+BENCHMARK(BM_ByzSimulator)
+    ->Args({4, 1})
+    ->Args({7, 1})
+    ->Args({10, 1})
+    ->Args({16, 1})
+    ->Args({7, 2})
+    ->Args({10, 2})
+    ->Args({13, 2})
+    ->Args({10, 3})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ByzThreaded(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const da::Config config{.n = n, .m = m, .u = n - 2 * m - 1};
+  const da::DegradableAgreement protocol(config);
+  const auto spec = make_spec(config, m);
+  auto adversary = da::faults::equivocator(da::Value::of(17),
+                                           da::Value::of(5));
+  for (auto _ : state) {
+    const auto outcome = protocol.run_threaded(spec, adversary.get());
+    benchmark::DoNotOptimize(outcome.decisions);
+  }
+}
+BENCHMARK(BM_ByzThreaded)
+    ->Args({4, 1})
+    ->Args({7, 1})
+    ->Args({7, 2})
+    ->Args({10, 2})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_LamportOM(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const da::LamportAgreement protocol(n, m);
+  const da::Config config{.n = n, .m = m, .u = m};
+  const auto spec = make_spec(config, m);
+  auto adversary = da::faults::equivocator(da::Value::of(17),
+                                           da::Value::of(5));
+  for (auto _ : state) {
+    const auto outcome = protocol.run(spec, adversary.get());
+    benchmark::DoNotOptimize(outcome.decisions);
+  }
+}
+BENCHMARK(BM_LamportOM)
+    ->Args({4, 1})
+    ->Args({7, 2})
+    ->Args({10, 2})
+    ->Args({10, 3})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Crusader(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  auto adversary = da::faults::equivocator(da::Value::of(17),
+                                           da::Value::of(5));
+  da::sim::RunOptions options;
+  for (int i = 0; i < m; ++i) options.faulty.push_back(i + 1);
+  options.adversary = adversary.get();
+  for (auto _ : state) {
+    da::sim::SyncRunner runner(
+        da::protocols::crusader::make_crusader_processes(n, m, 0,
+                                                         da::Value::of(17)),
+        options);
+    const auto result = runner.run();
+    benchmark::DoNotOptimize(result.decisions);
+  }
+}
+BENCHMARK(BM_Crusader)
+    ->Args({4, 1})
+    ->Args({10, 3})
+    ->Args({16, 5})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Vote(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  da::Rng rng(9);
+  std::vector<da::Value> values;
+  for (std::size_t i = 0; i < size; ++i) {
+    values.push_back(da::Value::of(rng.range(0, 7)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(da::protocols::vote(values, size / 2));
+  }
+}
+BENCHMARK(BM_Vote)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ThresholdVoterKofN(benchmark::State& state) {
+  const std::size_t channels = static_cast<std::size_t>(state.range(0));
+  std::vector<da::Value> outputs(channels, da::Value::of(21));
+  outputs.back() = da::Value::def();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        da::protocols::k_of_n_vote(outputs, channels - 1));
+  }
+}
+BENCHMARK(BM_ThresholdVoterKofN)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+// da_cli: run a single degradable-agreement scenario from the command line.
+//
+//   da_cli [--n N] [--m M] [--u U] [--sender S] [--value V]
+//          [--faulty a,b,c] [--adversary NAME] [--runtime sim|threaded]
+//          [--trace]
+//
+// Adversaries: honest, silent, liar, default, equivocator, pivot, crash,
+// noise. Exit status 0 iff the governing condition D.1-D.4 is satisfied.
+//
+//   $ da_cli --n 7 --m 1 --u 4 --faulty 2,3,5 --adversary equivocator
+//
+// This is the "try the paper" entry point: pick any configuration, any
+// fault pattern, any strategy, and see which condition applies and whether
+// the protocol met it.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "da/da.hpp"
+
+namespace {
+
+struct Args {
+  int n = 7;
+  int m = 1;
+  int u = 4;
+  da::NodeId sender = 0;
+  std::int64_t value = 42;
+  std::vector<da::NodeId> faulty;
+  std::string adversary = "equivocator";
+  std::string runtime = "sim";
+  bool trace = false;
+};
+
+std::vector<da::NodeId> parse_id_list(const char* arg) {
+  std::vector<da::NodeId> out;
+  std::string token;
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) out.push_back(std::atoi(token.c_str()));
+      token.clear();
+      if (*p == '\0') break;
+    } else {
+      token += *p;
+    }
+  }
+  return out;
+}
+
+[[noreturn]] void usage() {
+  std::puts(
+      "usage: da_cli [--n N] [--m M] [--u U] [--sender S] [--value V]\n"
+      "              [--faulty a,b,c] [--adversary NAME]\n"
+      "              [--runtime sim|threaded] [--trace]\n"
+      "adversaries: honest silent liar default equivocator pivot crash "
+      "noise");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const auto want = [&](const char* flag) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) usage();
+      return true;
+    };
+    if (want("--n")) {
+      args.n = std::atoi(argv[++i]);
+    } else if (want("--m")) {
+      args.m = std::atoi(argv[++i]);
+    } else if (want("--u")) {
+      args.u = std::atoi(argv[++i]);
+    } else if (want("--sender")) {
+      args.sender = std::atoi(argv[++i]);
+    } else if (want("--value")) {
+      args.value = std::atoll(argv[++i]);
+    } else if (want("--faulty")) {
+      args.faulty = parse_id_list(argv[++i]);
+    } else if (want("--adversary")) {
+      args.adversary = argv[++i];
+    } else if (want("--runtime")) {
+      args.runtime = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      args.trace = true;
+    } else {
+      usage();
+    }
+  }
+  return args;
+}
+
+std::unique_ptr<da::sim::Adversary> make_adversary(const Args& args) {
+  const da::Value truth = da::Value::of(args.value);
+  const da::Value lie = da::Value::of(args.value + 13);
+  if (args.adversary == "honest") return da::faults::honest();
+  if (args.adversary == "silent") return da::faults::silent();
+  if (args.adversary == "liar") return da::faults::constant_liar(lie);
+  if (args.adversary == "default") return da::faults::default_spammer();
+  if (args.adversary == "equivocator") {
+    return da::faults::equivocator(truth, lie);
+  }
+  if (args.adversary == "pivot") {
+    return da::faults::pivot_equivocator(truth, lie, args.n / 2);
+  }
+  if (args.adversary == "crash") return da::faults::crash_after(0);
+  if (args.adversary == "noise") {
+    return da::faults::random_noise(99, args.value - 5, args.value + 5, 0.25);
+  }
+  usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  da::ScenarioSpec spec;
+  spec.config = da::Config{.n = args.n, .m = args.m, .u = args.u};
+  spec.sender = args.sender;
+  spec.sender_value = da::Value::of(args.value);
+  spec.faulty = args.faulty;
+  std::sort(spec.faulty.begin(), spec.faulty.end());
+
+  if (!spec.config.valid()) {
+    std::fprintf(stderr, "invalid config: %s\n",
+                 spec.config.to_string().c_str());
+    return 2;
+  }
+  std::printf("scenario: %s\n", spec.to_string().c_str());
+  std::printf("feasible: %s (N_min = %d, connectivity_min = %d)\n",
+              spec.config.feasible() ? "yes" : "NO",
+              da::bounds::min_nodes(args.m, args.u),
+              da::bounds::min_connectivity(args.m, args.u));
+
+  const da::DegradableAgreement protocol(spec.config);
+  auto adversary = make_adversary(args);
+  da::sim::Trace trace;
+  da::RunExtras extras;
+  if (args.trace) extras.trace = &trace;
+
+  const da::Outcome outcome =
+      args.runtime == "threaded"
+          ? protocol.run_threaded(spec, adversary.get(), extras)
+          : protocol.run(spec, adversary.get(), extras);
+
+  std::printf("\n%d rounds, %zu messages sent, %zu delivered\n",
+              outcome.rounds, outcome.messages_sent,
+              outcome.messages_delivered);
+  for (const auto& [node, decision] : outcome.decisions) {
+    std::printf("  node %-3d -> %-6s%s\n", node,
+                decision.to_string().c_str(),
+                spec.is_faulty(node)  ? " (faulty)"
+                : node == spec.sender ? " (sender)"
+                                      : "");
+  }
+
+  const da::ConditionReport report =
+      da::check_conditions(spec, outcome.decisions);
+  std::printf("\ncondition %s: %s\n", da::to_string(report.applied),
+              report.satisfied ? "SATISFIED" : "VIOLATED");
+  if (!report.detail.empty()) std::printf("  %s\n", report.detail.c_str());
+  std::printf("value class %zu, default class %zu, largest agreeing %d "
+              "(corollary m+1: %s)\n",
+              report.value_class.size(), report.default_class.size(),
+              report.largest_agreeing_class,
+              report.corollary_m_plus_1 ? "holds" : "fails");
+
+  if (args.trace) {
+    for (const auto& [node, decision] : outcome.decisions) {
+      std::printf("\n--- transcript of node %d ---\n%s", node,
+                  trace.transcript(node).c_str());
+    }
+  }
+  return report.satisfied ? 0 : 1;
+}

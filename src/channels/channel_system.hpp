@@ -1,0 +1,80 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "channels/voter.hpp"
+#include "core/scenario.hpp"
+#include "sim/adversary.hpp"
+#include "util/ids.hpp"
+#include "util/value.hpp"
+
+namespace da::channels {
+
+/// The multiple-channel fault-tolerant system of Section 3 / Figure 1:
+/// a sensor (the sender) distributes its reading to computation channels;
+/// each channel computes on the agreed input; an external entity votes on
+/// the channel outputs.
+struct ChannelSystemConfig {
+  enum class Kind {
+    /// Figure 1(a): 3m channels + Byzantine agreement + majority voter
+    /// (2m+1 of 3m). Conditions B.1/B.2 — and no guarantee past m faults.
+    kByzantineMajority,
+    /// Figure 1(b): 2m+u channels + m/u-degradable agreement +
+    /// (m+u)-out-of-(2m+u) voter. Conditions C.1-C.3.
+    kDegradable,
+  };
+
+  Kind kind = Kind::kDegradable;
+  int m = 1;
+  int u = 2;  // ignored (= m) for kByzantineMajority
+
+  [[nodiscard]] int channel_count() const;
+  [[nodiscard]] std::size_t vote_threshold() const;
+  /// Agreement population: the sensor plus the channels.
+  [[nodiscard]] int node_count() const { return channel_count() + 1; }
+};
+
+/// Result of one input frame through the system.
+struct FrameResult {
+  Value voter_output{};
+  VoterOutcome outcome = VoterOutcome::kDefault;
+  /// Distinct states among fault-free channels (C.3: 1 up to m faults,
+  /// at most 2 — one of them the safe default state — up to u).
+  int distinct_fault_free_states = 0;
+  /// True if fault-free states are within {correct state, default state}.
+  bool divergence_graceful = true;
+  std::vector<Value> channel_outputs;  // indexed by channel (0-based)
+};
+
+/// Runs input frames through the configured system. Node 0 is the sensor;
+/// channels are agreement nodes 1..channel_count().
+class ChannelSystem {
+ public:
+  using Computation = std::function<Value(Value input)>;
+
+  explicit ChannelSystem(ChannelSystemConfig config);
+
+  /// Replace the per-channel computation (default: x -> 2x+1).
+  void set_computation(Computation f);
+
+  /// Runs one frame. `faulty_channels` lists faulty channel indices
+  /// (0-based, i.e. agreement nodes faulty_channels[i]+1); `sensor_faulty`
+  /// marks the sensor itself Byzantine. `adversary` drives all faulty
+  /// nodes during agreement. Faulty channels hand `faulty_output` to the
+  /// external voter (colluding on one wrong value — the worst case for a
+  /// threshold voter).
+  [[nodiscard]] FrameResult run_frame(Value sensor_value,
+                                      const std::vector<int>& faulty_channels,
+                                      bool sensor_faulty,
+                                      sim::Adversary& adversary,
+                                      Value faulty_output) const;
+
+  [[nodiscard]] const ChannelSystemConfig& config() const { return config_; }
+
+ private:
+  ChannelSystemConfig config_;
+  Computation compute_;
+};
+
+}  // namespace da::channels

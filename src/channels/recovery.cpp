@@ -1,0 +1,80 @@
+#include "channels/recovery.hpp"
+
+#include "faults/adversaries.hpp"
+#include "util/rng.hpp"
+
+namespace da::channels {
+
+RecoveryStats run_recovery_experiment(const ChannelSystem& system,
+                                      const RecoveryParams& params) {
+  Rng rng(params.seed);
+  RecoveryStats stats;
+  const int channels = system.config().channel_count();
+
+  for (int frame = 0; frame < params.frames; ++frame) {
+    const Value sensor_value = Value::of(rng.range(1, 1000));
+
+    // Inject this frame's transient faults.
+    std::vector<int> faulty;
+    for (int c = 0; c < channels; ++c) {
+      if (rng.chance(params.channel_fault_prob)) faulty.push_back(c);
+    }
+    if (params.max_concurrent_faults >= 0 &&
+        static_cast<int>(faulty.size()) > params.max_concurrent_faults) {
+      faulty.resize(static_cast<std::size_t>(params.max_concurrent_faults));
+    }
+    bool sensor_faulty = rng.chance(params.sensor_fault_prob);
+
+    ++stats.frames;
+    const bool was_fault_free = faulty.empty() && !sensor_faulty;
+    if (was_fault_free) ++stats.fault_free_frames;
+
+    const Value lie = Value::of(sensor_value.raw() + 7);
+    bool counted = false;
+    for (int attempt = 0; attempt <= params.max_retries && !counted;
+         ++attempt) {
+      auto adversary =
+          faults::equivocator(sensor_value, lie);
+      const FrameResult result = system.run_frame(
+          sensor_value, faulty, sensor_faulty, *adversary,
+          /*faulty_output=*/Value::of(2 * lie.raw() + 1));
+
+      switch (result.outcome) {
+        case VoterOutcome::kCorrect:
+          if (was_fault_free) {
+            // already counted as fault-free
+          } else if (attempt == 0) {
+            ++stats.forward_recovered;
+          } else {
+            ++stats.backward_recovered;  // faults may have cleared meanwhile
+          }
+          counted = true;
+          break;
+        case VoterOutcome::kIncorrect:
+          ++stats.unsafe_failures;
+          counted = true;
+          break;
+        case VoterOutcome::kDefault:
+          if (attempt == params.max_retries) {
+            ++stats.default_exhausted;
+            counted = true;
+          } else {
+            // Backward recovery: re-do the computation; transient faults
+            // may have cleared in the meantime.
+            std::vector<int> still_faulty;
+            for (int c : faulty) {
+              if (!rng.chance(params.repair_prob)) still_faulty.push_back(c);
+            }
+            faulty.swap(still_faulty);
+            if (sensor_faulty && rng.chance(params.repair_prob)) {
+              sensor_faulty = false;
+            }
+          }
+          break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace da::channels

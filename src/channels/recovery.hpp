@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channels/channel_system.hpp"
+
+namespace da::channels {
+
+/// Forward/backward recovery driver (Section 3's motivation).
+///
+/// Frames stream through the channel system. A frame whose vote is
+/// correct despite faults is *forward recovery* — the redundancy masked
+/// the faults. A frame whose vote is the default value triggers
+/// *backward recovery*: the computation is re-done (up to `max_retries`
+/// times), modelling transient faults that clear with probability
+/// `repair_prob` per retry. A frame whose vote is a wrong non-default
+/// value is an unsafe failure — exactly what C.2 rules out (up to u
+/// faults) and what the classical system cannot rule out past m faults.
+struct RecoveryStats {
+  int frames = 0;
+  int fault_free_frames = 0;
+  int forward_recovered = 0;   // faults present, vote still correct
+  int backward_recovered = 0;  // default vote, retry eventually correct
+  int default_exhausted = 0;   // default vote, retries never succeeded (safe)
+  int unsafe_failures = 0;     // wrong non-default vote (unsafe!)
+
+  [[nodiscard]] int safe_frames() const {
+    return fault_free_frames + forward_recovered + backward_recovered +
+           default_exhausted;
+  }
+};
+
+struct RecoveryParams {
+  int frames = 100;
+  int max_retries = 3;
+  /// Per-retry probability that a transiently faulty channel is repaired.
+  double repair_prob = 0.5;
+  /// Per-frame probability that each channel is faulty.
+  double channel_fault_prob = 0.1;
+  /// Per-frame probability that the sensor is faulty.
+  double sensor_fault_prob = 0.0;
+  /// Fault-hypothesis cap: at most this many channels fail per frame
+  /// (-1 = unlimited). The paper's guarantees are conditional on f <= u;
+  /// experiments that evaluate the guarantee keep the hypothesis true,
+  /// experiments that probe beyond it lift the cap.
+  int max_concurrent_faults = -1;
+  std::uint64_t seed = 42;
+};
+
+/// Streams frames with randomly injected faults (two-faced equivocating
+/// adversary) and applies the forward/backward recovery policy.
+[[nodiscard]] RecoveryStats run_recovery_experiment(
+    const ChannelSystem& system, const RecoveryParams& params);
+
+}  // namespace da::channels

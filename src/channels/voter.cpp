@@ -1,0 +1,26 @@
+#include "channels/voter.hpp"
+
+#include "protocols/common/vote.hpp"
+
+namespace da::channels {
+
+const char* to_string(VoterOutcome outcome) {
+  switch (outcome) {
+    case VoterOutcome::kCorrect: return "correct";
+    case VoterOutcome::kDefault: return "default";
+    case VoterOutcome::kIncorrect: return "INCORRECT";
+  }
+  return "?";
+}
+
+Value external_vote(std::span<const Value> channel_outputs, std::size_t k) {
+  return protocols::k_of_n_vote(channel_outputs, k);
+}
+
+VoterOutcome classify(Value voted, Value correct) {
+  if (voted == correct) return VoterOutcome::kCorrect;
+  if (voted.is_default()) return VoterOutcome::kDefault;
+  return VoterOutcome::kIncorrect;
+}
+
+}  // namespace da::channels

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "util/value.hpp"
+
+namespace da::channels {
+
+/// How the external entity's vote turned out relative to the value it
+/// should have obtained.
+enum class VoterOutcome {
+  kCorrect,    // the vote produced the correct computation result
+  kDefault,    // the vote produced V_d: the safe/default action (C.2)
+  kIncorrect,  // the vote produced a wrong non-default value: unsafe
+};
+
+[[nodiscard]] const char* to_string(VoterOutcome outcome);
+
+/// The external entity of Figure 1: a k-out-of-n voter over the channel
+/// outputs. For the degradable system k = m+u, n = 2m+u (condition C.1);
+/// for the classical system k = majority of 3m... the caller picks k.
+[[nodiscard]] Value external_vote(std::span<const Value> channel_outputs,
+                                  std::size_t k);
+
+[[nodiscard]] VoterOutcome classify(Value voted, Value correct);
+
+}  // namespace da::channels

@@ -1,0 +1,40 @@
+#include "clocksync/convergence.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace da::clocksync {
+
+double cnv_round(ClockEnsemble& ensemble, double real_time, double window) {
+  const int n = ensemble.n();
+  std::vector<double> corrections(static_cast<std::size_t>(n), 0.0);
+
+  for (NodeId p = 0; p < n; ++p) {
+    if (ensemble.is_faulty(p)) continue;
+    const double own = ensemble.clock(p).read(real_time);
+    double sum = 0.0;
+    for (NodeId q = 0; q < n; ++q) {
+      double r = ensemble.read(p, q, real_time);
+      if (std::abs(r - own) > window) r = own;  // egocentric clip
+      sum += r - own;
+    }
+    corrections[static_cast<std::size_t>(p)] = sum / n;
+  }
+
+  for (NodeId p = 0; p < n; ++p) {
+    if (ensemble.is_faulty(p)) continue;
+    ensemble.clock(p).adjust(corrections[static_cast<std::size_t>(p)]);
+  }
+  return ensemble.skew(real_time);
+}
+
+double cnv_run(ClockEnsemble& ensemble, double start, double period,
+               int rounds, double window) {
+  double skew = ensemble.skew(start);
+  for (int r = 0; r < rounds; ++r) {
+    skew = cnv_round(ensemble, start + r * period, window);
+  }
+  return skew;
+}
+
+}  // namespace da::clocksync

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "clocksync/hardware_clock.hpp"
+
+namespace da::clocksync {
+
+/// One resynchronization round of the interactive-convergence algorithm
+/// (CNV, Lamport & Melliar-Smith — the classical software clock
+/// synchronization the paper's Section 6 discusses): each fault-free node
+/// reads every clock, replaces readings further than `window` from its own
+/// by its own reading (the "egocentric" clip), and adjusts to the average.
+///
+/// Guarantees convergence while fewer than a third of the clocks are
+/// faulty; with a third or more it can be defeated by two-faced clocks —
+/// the impossibility [3,5] the degradable variant works around.
+///
+/// Returns the ensemble's fault-free skew after the adjustment.
+double cnv_round(ClockEnsemble& ensemble, double real_time, double window);
+
+/// Runs `rounds` CNV rounds spaced `period` apart starting at `start`;
+/// returns the final fault-free skew.
+double cnv_run(ClockEnsemble& ensemble, double start, double period,
+               int rounds, double window);
+
+}  // namespace da::clocksync

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clocksync/hardware_clock.hpp"
+#include "protocols/ic/interactive_consistency.hpp"
+
+namespace da::clocksync {
+
+/// Parameters of one m/u-degradable clock synchronization round
+/// (Section 6.1's proposed problem).
+struct DegradableSyncParams {
+  int m = 1;
+  int u = 2;
+  /// Seconds per agreement-value unit when quantizing clock readings.
+  double quantum = 1e-6;
+  /// Two clocks count as synchronized if they differ by at most this.
+  double epsilon = 1e-3;
+  /// Egocentric acceptance window (as in interactive convergence): agreed
+  /// readings further than this from the node's own clock are discarded
+  /// before the midpoint is taken. Bounds the leverage of faulty senders
+  /// that pass plausible-looking values through agreement.
+  double window = 0.1;
+};
+
+/// Result of one degradable sync round, evaluated against the paper's
+/// conjecture: with more than 2m+u clocks and at most u faulty, either
+/// (i) at least m+1 fault-free clocks are synchronized, or (ii) at least
+/// m+1 fault-free nodes detect the existence of more than m faulty clocks.
+struct DegradableSyncResult {
+  /// Fault-free nodes that detected > m faults (more than m default
+  /// entries in their agreed vector — a sound detector: with f <= m at
+  /// most m entries can be V_d).
+  std::vector<NodeId> detected;
+  /// Largest set of fault-free, non-detecting nodes whose adjusted clocks
+  /// agree within epsilon.
+  std::vector<NodeId> synced;
+  double synced_skew = 0.0;
+  bool conjecture_holds = false;
+};
+
+/// Runs one synchronization round at `real_time`: every node distributes
+/// its clock reading with m/u-degradable agreement (one instance per
+/// sender, the degradable analogue of interactive consistency); each
+/// fault-free node either detects or adjusts to the fault-tolerant
+/// midpoint of its agreed vector (discarding the m lowest and m highest
+/// non-default readings).
+///
+/// `adversaries` builds the agreement adversary per instance (as in the
+/// IC baseline); it drives the clock-faulty nodes' Byzantine behaviour
+/// inside agreement.
+[[nodiscard]] DegradableSyncResult degradable_sync_round(
+    ClockEnsemble& ensemble, double real_time,
+    const DegradableSyncParams& params,
+    const protocols::ic::AdversaryFactory& adversaries);
+
+/// Long-run behaviour: periodic resynchronization of a drifting ensemble.
+struct DegradableSyncRunResult {
+  /// Fault-free skew just before each resync (drift accumulated over the
+  /// period) and right after it (residual).
+  std::vector<double> skew_before;
+  std::vector<double> skew_after;
+  /// Sizes of the synced cluster / detecting set per round.
+  std::vector<int> synced_counts;
+  std::vector<int> detected_counts;
+  /// Rounds (out of the total) in which the paper's disjunction held.
+  int rounds_conjecture_held = 0;
+
+  [[nodiscard]] double max_skew_after() const;
+};
+
+/// Runs `rounds` resync rounds spaced `period` apart starting at `start`.
+/// Between rounds the fault-free clocks drift apart at their hardware
+/// rates; each round is one `degradable_sync_round`.
+[[nodiscard]] DegradableSyncRunResult degradable_sync_run(
+    ClockEnsemble& ensemble, double start, double period, int rounds,
+    const DegradableSyncParams& params,
+    const protocols::ic::AdversaryFactory& adversaries);
+
+}  // namespace da::clocksync

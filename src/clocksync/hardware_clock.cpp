@@ -1,0 +1,59 @@
+#include "clocksync/hardware_clock.hpp"
+
+#include <algorithm>
+
+namespace da::clocksync {
+
+ClockEnsemble::ClockEnsemble(std::vector<HardwareClock> clocks,
+                             std::vector<NodeId> faulty,
+                             FaultyReading faulty_reading)
+    : clocks_(std::move(clocks)),
+      faulty_(std::move(faulty)),
+      faulty_reading_(std::move(faulty_reading)) {
+  DA_EXPECTS(!clocks_.empty());
+  std::sort(faulty_.begin(), faulty_.end());
+  for (NodeId id : faulty_) DA_EXPECTS(id >= 0 && id < n());
+  DA_EXPECTS(faulty_.empty() || faulty_reading_ != nullptr);
+}
+
+bool ClockEnsemble::is_faulty(NodeId id) const {
+  return std::binary_search(faulty_.begin(), faulty_.end(), id);
+}
+
+double ClockEnsemble::read(NodeId reader, NodeId owner,
+                           double real_time) const {
+  DA_EXPECTS(owner >= 0 && owner < n());
+  if (is_faulty(owner)) return faulty_reading_(reader, owner, real_time);
+  return clocks_[static_cast<std::size_t>(owner)].read(real_time);
+}
+
+HardwareClock& ClockEnsemble::clock(NodeId id) {
+  DA_EXPECTS(id >= 0 && id < n());
+  return clocks_[static_cast<std::size_t>(id)];
+}
+
+const HardwareClock& ClockEnsemble::clock(NodeId id) const {
+  DA_EXPECTS(id >= 0 && id < n());
+  return clocks_[static_cast<std::size_t>(id)];
+}
+
+double ClockEnsemble::skew(double real_time,
+                           const std::vector<NodeId>& subset) const {
+  std::vector<NodeId> nodes = subset;
+  if (nodes.empty()) {
+    for (NodeId id = 0; id < n(); ++id) {
+      if (!is_faulty(id)) nodes.push_back(id);
+    }
+  }
+  if (nodes.size() < 2) return 0.0;
+  double lo = clocks_[static_cast<std::size_t>(nodes[0])].read(real_time);
+  double hi = lo;
+  for (NodeId id : nodes) {
+    const double r = clocks_[static_cast<std::size_t>(id)].read(real_time);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  return hi - lo;
+}
+
+}  // namespace da::clocksync

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/ids.hpp"
+
+namespace da::clocksync {
+
+/// A drifting hardware clock: reads real time t as t*(1+drift) + offset.
+/// Synchronization algorithms adjust the offset.
+class HardwareClock {
+ public:
+  HardwareClock(double offset, double drift)
+      : offset_(offset), drift_(drift) {}
+
+  [[nodiscard]] double read(double real_time) const {
+    return real_time * (1.0 + drift_) + offset_;
+  }
+
+  /// Apply a correction (adds to the offset).
+  void adjust(double delta) { offset_ += delta; }
+
+  [[nodiscard]] double offset() const { return offset_; }
+  [[nodiscard]] double drift() const { return drift_; }
+
+ private:
+  double offset_;
+  double drift_;
+};
+
+/// What a faulty clock tells a particular reader at a given real time.
+/// Byzantine clocks may be two-faced: different readers can see different
+/// values for the same clock — the behaviour that makes clock
+/// synchronization impossible with one third faulty [3,5].
+using FaultyReading =
+    std::function<double(NodeId reader, NodeId owner, double real_time)>;
+
+/// An ensemble of clocks, some of them Byzantine.
+class ClockEnsemble {
+ public:
+  ClockEnsemble(std::vector<HardwareClock> clocks, std::vector<NodeId> faulty,
+                FaultyReading faulty_reading);
+
+  [[nodiscard]] int n() const { return static_cast<int>(clocks_.size()); }
+  [[nodiscard]] bool is_faulty(NodeId id) const;
+  [[nodiscard]] int fault_count() const {
+    return static_cast<int>(faulty_.size());
+  }
+
+  /// What `reader` observes when it reads `owner`'s clock at `real_time`.
+  /// Fault-free clocks read truthfully; faulty clocks answer through the
+  /// adversary function.
+  [[nodiscard]] double read(NodeId reader, NodeId owner,
+                            double real_time) const;
+
+  [[nodiscard]] HardwareClock& clock(NodeId id);
+  [[nodiscard]] const HardwareClock& clock(NodeId id) const;
+
+  /// Maximum pairwise difference of the fault-free clocks' readings at
+  /// `real_time`, restricted to `subset` (empty = all fault-free).
+  [[nodiscard]] double skew(double real_time,
+                            const std::vector<NodeId>& subset = {}) const;
+
+ private:
+  std::vector<HardwareClock> clocks_;
+  std::vector<NodeId> faulty_;
+  FaultyReading faulty_reading_;
+};
+
+}  // namespace da::clocksync

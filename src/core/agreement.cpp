@@ -1,0 +1,90 @@
+#include "core/agreement.hpp"
+
+#include "rt/threaded_runner.hpp"
+#include "util/contracts.hpp"
+
+namespace da {
+
+namespace {
+
+sim::RunOptions to_run_options(const ScenarioSpec& spec,
+                               sim::Adversary* adversary,
+                               const RunExtras& extras) {
+  sim::RunOptions options;
+  options.faulty = spec.faulty;
+  options.adversary = adversary;
+  options.network = extras.network;
+  options.trace = extras.trace;
+  return options;
+}
+
+Outcome to_outcome(sim::RunResult&& result) {
+  Outcome out;
+  out.decisions = std::move(result.decisions);
+  out.messages_sent = result.messages_sent;
+  out.messages_delivered = result.messages_delivered;
+  out.rounds = result.rounds;
+  return out;
+}
+
+}  // namespace
+
+Value Outcome::decision_of(NodeId id) const {
+  const auto it = decisions.find(id);
+  DA_EXPECTS(it != decisions.end());
+  return it->second;
+}
+
+DegradableAgreement::DegradableAgreement(Config config) : config_(config) {
+  DA_EXPECTS(config_.valid());
+}
+
+Outcome DegradableAgreement::run(const ScenarioSpec& spec,
+                                 sim::Adversary* adversary,
+                                 const RunExtras& extras) const {
+  spec.validate();
+  DA_EXPECTS(spec.config.n == config_.n && spec.config.m == config_.m &&
+             spec.config.u == config_.u);
+  sim::SyncRunner runner(
+      core::make_byz_processes(config_, spec.sender, spec.sender_value),
+      to_run_options(spec, adversary, extras));
+  return to_outcome(runner.run());
+}
+
+Outcome DegradableAgreement::run_threaded(const ScenarioSpec& spec,
+                                          sim::Adversary* adversary,
+                                          const RunExtras& extras) const {
+  spec.validate();
+  DA_EXPECTS(spec.config.n == config_.n && spec.config.m == config_.m &&
+             spec.config.u == config_.u);
+  rt::ThreadedRunner runner(
+      core::make_byz_processes(config_, spec.sender, spec.sender_value),
+      to_run_options(spec, adversary, extras));
+  return to_outcome(runner.run());
+}
+
+ConditionReport DegradableAgreement::run_and_check(
+    const ScenarioSpec& spec, sim::Adversary* adversary,
+    const RunExtras& extras) const {
+  const Outcome outcome = run(spec, adversary, extras);
+  return check_conditions(spec, outcome.decisions);
+}
+
+LamportAgreement::LamportAgreement(int n, int m) : n_(n), m_(m) {
+  DA_EXPECTS(n >= 2 && m >= 0);
+}
+
+Outcome LamportAgreement::run(const ScenarioSpec& spec,
+                              sim::Adversary* adversary,
+                              const RunExtras& extras) const {
+  spec.validate();
+  DA_EXPECTS(spec.config.n == n_);
+  auto procs = protocols::make_eig_processes(
+      n_, spec.sender, spec.sender_value, m_ + 1,
+      std::make_shared<protocols::MajorityResolver>());
+  sim::SyncRunner runner(std::move(procs),
+                         to_run_options(spec, adversary, extras));
+  return to_outcome(runner.run());
+}
+
+}  // namespace da

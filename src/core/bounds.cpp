@@ -1,0 +1,42 @@
+#include "core/bounds.hpp"
+
+#include "util/contracts.hpp"
+
+namespace da::bounds {
+
+int min_nodes(int m, int u) {
+  DA_EXPECTS(m >= 0 && u >= m);
+  return 2 * m + u + 1;
+}
+
+int min_connectivity(int m, int u) {
+  DA_EXPECTS(m >= 0 && u >= m);
+  return m + u + 1;
+}
+
+int lamport_min_nodes(int m) {
+  DA_EXPECTS(m >= 0);
+  return 3 * m + 1;
+}
+
+int max_u(int n, int m) {
+  DA_EXPECTS(n >= 1 && m >= 0);
+  const int u = n - 2 * m - 1;
+  return u >= m ? u : -1;
+}
+
+int max_m(int n) {
+  DA_EXPECTS(n >= 1);
+  return (n - 1) / 3;
+}
+
+std::vector<Config> tradeoff_frontier(int n) {
+  std::vector<Config> out;
+  for (int m = 0; m <= max_m(n); ++m) {
+    const int u = max_u(n, m);
+    if (u >= m) out.push_back(Config{.n = n, .m = m, .u = u});
+  }
+  return out;
+}
+
+}  // namespace da::bounds

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace da::bounds {
+
+/// Theorem 2: m/u-degradable agreement needs at least 2m+u+1 nodes
+/// (and 2m+u+1 suffice, by algorithm BYZ).
+[[nodiscard]] int min_nodes(int m, int u);
+
+/// Theorem 3: network vertex-connectivity of at least m+u+1 is necessary
+/// (and sufficient, Section 5).
+[[nodiscard]] int min_connectivity(int m, int u);
+
+/// Classical Byzantine agreement bound (Lamport et al.): 3m+1 nodes.
+/// Degradable agreement with u = m degenerates to exactly this.
+[[nodiscard]] int lamport_min_nodes(int m);
+
+/// Largest u achievable with n nodes for a given m (u = n - 2m - 1),
+/// or -1 if even u = m is out of reach.
+[[nodiscard]] int max_u(int n, int m);
+
+/// Largest m achievable with n nodes (the classical floor((n-1)/3)).
+[[nodiscard]] int max_m(int n);
+
+/// All (m,u) pairs achievable with exactly the budget of n nodes, i.e.
+/// the trade-off frontier u = n - 2m - 1 for m = 0..max_m(n). For n = 7
+/// this yields the paper's example: 0/6, 1/4, 2/2.
+[[nodiscard]] std::vector<Config> tradeoff_frontier(int n);
+
+}  // namespace da::bounds

@@ -1,0 +1,38 @@
+#include "core/byz.hpp"
+
+#include "util/contracts.hpp"
+
+namespace da::core {
+
+int byz_depth(int m) {
+  DA_EXPECTS(m >= 0);
+  return m >= 1 ? m + 1 : 2;
+}
+
+std::uint64_t byz_message_count(int n, int m) {
+  DA_EXPECTS(n >= 2 && m >= 0);
+  const int depth = byz_depth(m);
+  std::uint64_t total = 0;
+  std::uint64_t level = 1;
+  // Round r carries (n-1)(n-2)...(n-r) messages: one per length-r relay
+  // chain of distinct nodes starting at the sender.
+  for (int r = 1; r <= depth; ++r) {
+    level *= static_cast<std::uint64_t>(n - r);
+    total += level;
+  }
+  return total;
+}
+
+std::shared_ptr<const protocols::Resolver> byz_resolver(int m) {
+  return std::make_shared<protocols::ByzResolver>(m);
+}
+
+std::vector<std::unique_ptr<sim::Process>> make_byz_processes(
+    const Config& config, NodeId sender, Value value) {
+  DA_EXPECTS(config.valid());
+  return protocols::make_eig_processes(config.n, sender, value,
+                                       byz_depth(config.m),
+                                       byz_resolver(config.m));
+}
+
+}  // namespace da::core

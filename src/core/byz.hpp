@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "protocols/common/eig_process.hpp"
+#include "sim/process.hpp"
+
+namespace da::core {
+
+/// Communication rounds used by algorithm BYZ(m,m).
+///
+/// For m >= 1 the recursion BYZ(m,m) -> BYZ(m-1,m) -> ... -> BYZ(1,m)
+/// unfolds into m+1 rounds (one send, m relay levels). The paper omits the
+/// m = 0 algorithm; a bare broadcast would violate D.4 (a faulty sender
+/// could split the fault-free receivers into more than two classes), so we
+/// use the natural completion: one echo round with the unanimity vote
+/// VOTE(n-1, n-1) — i.e. the BYZ(1,m) structure evaluated at m = 0, which
+/// satisfies D.1/D.3/D.4 for 0/u-degradable agreement (D.2 is vacuous at
+/// m = 0). Hence depth 2 for m = 0.
+[[nodiscard]] int byz_depth(int m);
+
+/// Total point-to-point messages BYZ(m,m) sends with n nodes and no
+/// omissions: (n-1) + (n-1)(n-2) + ... + (n-1)...(n-1-m)  — the paper's
+/// "no attempt is made here to present an efficient algorithm".
+[[nodiscard]] std::uint64_t byz_message_count(int n, int m);
+
+/// The shared BYZ resolve rule for parameter m.
+[[nodiscard]] std::shared_ptr<const protocols::Resolver> byz_resolver(int m);
+
+/// Processes for one BYZ(m,m) execution of `spec.config` with the given
+/// sender and value. The returned processes all follow the protocol; the
+/// runner applies the adversary to the faulty ones.
+[[nodiscard]] std::vector<std::unique_ptr<sim::Process>> make_byz_processes(
+    const Config& config, NodeId sender, Value value);
+
+}  // namespace da::core

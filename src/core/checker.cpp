@@ -1,0 +1,156 @@
+#include "core/checker.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace da {
+
+const char* to_string(Condition c) {
+  switch (c) {
+    case Condition::kD1: return "D.1";
+    case Condition::kD2: return "D.2";
+    case Condition::kD3: return "D.3";
+    case Condition::kD4: return "D.4";
+    case Condition::kNone: return "none";
+  }
+  return "?";
+}
+
+namespace {
+
+Value decision_of(const std::map<NodeId, Value>& decisions, NodeId id) {
+  const auto it = decisions.find(id);
+  DA_EXPECTS(it != decisions.end());
+  return it->second;
+}
+
+}  // namespace
+
+ConditionReport check_conditions(const ScenarioSpec& spec,
+                                 const std::map<NodeId, Value>& decisions) {
+  spec.validate();
+  ConditionReport report;
+
+  const int f = spec.f();
+  const int m = spec.config.m;
+  const int u = spec.config.u;
+  const bool sender_ok = !spec.sender_faulty();
+  const std::vector<NodeId> receivers = spec.fault_free_receivers();
+
+  // Classify the governing condition.
+  if (f <= m) {
+    report.applied = sender_ok ? Condition::kD1 : Condition::kD2;
+  } else if (f <= u) {
+    report.applied = sender_ok ? Condition::kD3 : Condition::kD4;
+  } else {
+    report.applied = Condition::kNone;
+  }
+
+  // Partition fault-free receivers by decision.
+  std::map<Value, std::vector<NodeId>> classes;
+  for (NodeId r : receivers) {
+    classes[decision_of(decisions, r)].push_back(r);
+  }
+
+  switch (report.applied) {
+    case Condition::kD1: {
+      // Everyone must decide the sender's value.
+      for (const auto& [value, members] : classes) {
+        if (value == spec.sender_value) {
+          report.value_class = members;
+        } else {
+          report.violators.insert(report.violators.end(), members.begin(),
+                                  members.end());
+        }
+      }
+      report.satisfied = report.violators.empty();
+      if (!report.satisfied) report.detail = "D.1: not all decided sender's value";
+      break;
+    }
+    case Condition::kD2: {
+      // One identical value (any value, default included).
+      report.satisfied = classes.size() <= 1;
+      if (!classes.empty()) {
+        const auto& [value, members] = *classes.begin();
+        if (value.is_default()) {
+          report.default_class = members;
+        } else {
+          report.value_class = members;
+        }
+      }
+      if (!report.satisfied) {
+        report.detail = "D.2: fault-free receivers decided " +
+                        std::to_string(classes.size()) + " distinct values";
+        for (const auto& [value, members] : classes) {
+          report.violators.insert(report.violators.end(), members.begin(),
+                                  members.end());
+        }
+      }
+      break;
+    }
+    case Condition::kD3: {
+      // Each fault-free receiver decides the sender's value or V_d.
+      for (const auto& [value, members] : classes) {
+        if (value == spec.sender_value) {
+          report.value_class = members;
+        } else if (value.is_default()) {
+          report.default_class = members;
+        } else {
+          report.violators.insert(report.violators.end(), members.begin(),
+                                  members.end());
+        }
+      }
+      report.satisfied = report.violators.empty();
+      if (!report.satisfied) {
+        report.detail = "D.3: some fault-free receiver decided a value that "
+                        "is neither the sender's nor V_d";
+      }
+      break;
+    }
+    case Condition::kD4: {
+      // At most one non-default value among fault-free receivers.
+      int non_default_values = 0;
+      for (const auto& [value, members] : classes) {
+        if (value.is_default()) {
+          report.default_class = members;
+        } else {
+          ++non_default_values;
+          if (non_default_values == 1) {
+            report.value_class = members;
+          } else {
+            report.violators.insert(report.violators.end(), members.begin(),
+                                    members.end());
+          }
+        }
+      }
+      report.satisfied = non_default_values <= 1;
+      if (!report.satisfied) {
+        report.detail = "D.4: fault-free receivers decided " +
+                        std::to_string(non_default_values) +
+                        " distinct non-default values";
+      }
+      break;
+    }
+    case Condition::kNone:
+      report.satisfied = true;  // nothing promised beyond u faults
+      break;
+  }
+
+  // Section 2 corollary: largest group of fault-free nodes (sender included,
+  // agreeing on its own value when fault-free) deciding one identical value.
+  std::map<Value, int> sizes;
+  for (const auto& [value, members] : classes) {
+    sizes[value] = static_cast<int>(members.size());
+  }
+  if (sender_ok) sizes[spec.sender_value] += 1;
+  for (const auto& [value, count] : sizes) {
+    report.largest_agreeing_class =
+        std::max(report.largest_agreeing_class, count);
+  }
+  report.corollary_m_plus_1 = report.largest_agreeing_class >= m + 1;
+
+  return report;
+}
+
+}  // namespace da

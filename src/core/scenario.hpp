@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/value.hpp"
+
+namespace da {
+
+/// Parameters of one m/u-degradable agreement instance.
+///
+/// `m` is the exact-agreement fault budget (conditions D.1/D.2 hold while
+/// f <= m); `u` is the degraded budget (D.3/D.4 hold while m < f <= u).
+/// The paper requires u >= m >= 0; N > 2m+u is required for the protocol's
+/// guarantees, but deliberately *not* enforced here — the lower-bound
+/// experiments run infeasible configurations on purpose.
+struct Config {
+  int n = 0;
+  int m = 0;
+  int u = 0;
+
+  /// Theorem 2 feasibility: N >= 2m+u+1.
+  [[nodiscard]] bool feasible() const { return n >= 2 * m + u + 1; }
+
+  /// Basic well-formedness (0 <= m <= u < n).
+  [[nodiscard]] bool valid() const {
+    return n >= 2 && m >= 0 && u >= m && u < n;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One concrete execution: who sends what, and who is Byzantine.
+struct ScenarioSpec {
+  Config config{};
+  NodeId sender = 0;
+  Value sender_value = Value::of(1);
+  std::vector<NodeId> faulty{};  // sorted, unique
+
+  [[nodiscard]] int f() const { return static_cast<int>(faulty.size()); }
+  [[nodiscard]] bool sender_faulty() const;
+  [[nodiscard]] bool is_faulty(NodeId id) const;
+
+  /// Fault-free receivers (everyone but sender and faulty nodes).
+  [[nodiscard]] std::vector<NodeId> fault_free_receivers() const;
+
+  /// Throws on malformed specs (ids out of range, duplicate faulty ids,
+  /// default sender value, ...).
+  void validate() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace da

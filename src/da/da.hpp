@@ -1,0 +1,19 @@
+#pragma once
+
+/// Umbrella header for the degradable-agreement library.
+///
+///   #include "da/da.hpp"
+///
+/// pulls in the public API: Config / ScenarioSpec, the DegradableAgreement
+/// and LamportAgreement protocols, the D.1-D.4 condition checker, the
+/// bounds of Theorems 2-3, and the adversary library.
+
+#include "core/agreement.hpp"
+#include "core/bounds.hpp"
+#include "core/byz.hpp"
+#include "core/checker.hpp"
+#include "core/scenario.hpp"
+#include "faults/adversaries.hpp"
+#include "faults/scripted.hpp"
+#include "protocols/common/vote.hpp"
+#include "util/value.hpp"

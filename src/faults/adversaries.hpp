@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/adversary.hpp"
+#include "util/ids.hpp"
+#include "util/value.hpp"
+
+namespace da::faults {
+
+/// All faulty nodes follow the protocol (control case).
+[[nodiscard]] std::unique_ptr<sim::Adversary> honest();
+
+/// Faulty nodes send nothing at all; receivers observe V_d everywhere.
+[[nodiscard]] std::unique_ptr<sim::Adversary> silent();
+
+/// Faulty nodes replace every outgoing value with `lie`.
+[[nodiscard]] std::unique_ptr<sim::Adversary> constant_liar(Value lie);
+
+/// Faulty nodes replace every outgoing value with V_d ("I heard nothing").
+[[nodiscard]] std::unique_ptr<sim::Adversary> default_spammer();
+
+/// Classical two-faced equivocation: value `a` to even-numbered
+/// destinations, `b` to odd ones.
+[[nodiscard]] std::unique_ptr<sim::Adversary> equivocator(Value a, Value b);
+
+/// Two-faced split at a pivot: destinations with id < pivot get `low`,
+/// the rest get `high`. Sweeping the pivot probes every split of the
+/// receiver population — the attack shape behind the Figure 2 scenarios.
+[[nodiscard]] std::unique_ptr<sim::Adversary> pivot_equivocator(Value low,
+                                                                Value high,
+                                                                NodeId pivot);
+
+/// Honest through round `last_honest_round`, silent afterwards (crash).
+[[nodiscard]] std::unique_ptr<sim::Adversary> crash_after(
+    int last_honest_round);
+
+/// Byzantine noise: per-message pseudorandom value from [lo,hi] (or an
+/// omission with probability `omit_prob`). Deterministic per message
+/// identity, so both runtimes see the same behaviour.
+[[nodiscard]] std::unique_ptr<sim::Adversary> random_noise(std::uint64_t seed,
+                                                           std::int64_t lo,
+                                                           std::int64_t hi,
+                                                           double omit_prob);
+
+/// Colluding attack aimed at the VOTE threshold: faulty nodes relay the
+/// true value to destinations in `target` and `lie` to everyone else,
+/// trying to push exactly one side of the population over the threshold.
+[[nodiscard]] std::unique_ptr<sim::Adversary> targeted_split(
+    std::vector<NodeId> target, Value lie);
+
+}  // namespace da::faults

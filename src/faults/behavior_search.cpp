@@ -1,0 +1,133 @@
+#include "faults/behavior_search.hpp"
+
+#include <map>
+#include <utility>
+
+#include "core/byz.hpp"
+#include "util/contracts.hpp"
+
+namespace da::faults {
+
+namespace {
+
+/// Every message a faulty node emits in a depth-2 instance, keyed by
+/// (from, to). Round-0 slots exist only for a faulty sender; round-1
+/// relay slots for each faulty receiver (destinations outside {sender,
+/// self} — relaying *to* the sender is useless, as the sender ignores
+/// paths containing itself).
+std::vector<std::pair<NodeId, NodeId>> controlled_slots(
+    const ScenarioSpec& spec) {
+  std::vector<std::pair<NodeId, NodeId>> slots;
+  for (NodeId from : spec.faulty) {
+    if (from == spec.sender) {
+      for (NodeId to = 0; to < spec.config.n; ++to) {
+        if (to != from) slots.emplace_back(from, to);
+      }
+    } else {
+      for (NodeId to = 0; to < spec.config.n; ++to) {
+        if (to != from && to != spec.sender) slots.emplace_back(from, to);
+      }
+    }
+  }
+  return slots;
+}
+
+/// Plays one fully specified behaviour table.
+class TableAdversary final : public sim::Adversary {
+ public:
+  TableAdversary(const std::vector<std::pair<NodeId, NodeId>>& slots,
+                 const std::vector<Value>& assignment) {
+    DA_EXPECTS(slots.size() == assignment.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      table_.emplace(slots[i], assignment[i]);
+    }
+  }
+
+  std::optional<sim::Message> corrupt(const sim::Message& msg) override {
+    const auto it = table_.find({msg.from, msg.to});
+    if (it == table_.end()) return msg;  // e.g. relay addressed to sender
+    sim::Message out = msg;
+    out.value = it->second;
+    return out;
+  }
+
+ private:
+  std::map<std::pair<NodeId, NodeId>, Value> table_;
+};
+
+constexpr std::uint64_t kSymbols = 4;
+
+std::vector<Value> decode(std::uint64_t counter, std::size_t slots,
+                          Value sender_value) {
+  const Value alphabet[kSymbols] = {sender_value, Value::of(100001),
+                                    Value::of(100002), Value::def()};
+  std::vector<Value> assignment;
+  assignment.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    assignment.push_back(alphabet[counter % kSymbols]);
+    counter /= kSymbols;
+  }
+  return assignment;
+}
+
+std::uint64_t pow_symbols(std::size_t slots) {
+  std::uint64_t total = 1;
+  for (std::size_t i = 0; i < slots; ++i) total *= kSymbols;
+  return total;
+}
+
+}  // namespace
+
+std::optional<Violation> exhaustive_behavior_search(const Config& config,
+                                                    int max_f) {
+  DA_EXPECTS(config.valid());
+  DA_EXPECTS(config.m <= 1);  // depth-2 instances only
+  const int limit = max_f < 0 ? config.u : max_f;
+  const DegradableAgreement protocol(config);
+
+  std::optional<Violation> found;
+  for (int f = 1; f <= limit && !found; ++f) {
+    for_each_subset(config.n, f, [&](const std::vector<NodeId>& faulty) {
+      if (found) return;
+      ScenarioSpec spec;
+      spec.config = config;
+      spec.sender = 0;
+      spec.sender_value = Value::of(7);
+      spec.faulty = faulty;
+
+      const auto slots = controlled_slots(spec);
+      DA_EXPECTS(slots.size() <= 12);  // 4^12 = 16M: keep runs bounded
+      const std::uint64_t total = pow_symbols(slots.size());
+      for (std::uint64_t counter = 0; counter < total; ++counter) {
+        TableAdversary adversary(
+            slots, decode(counter, slots.size(), spec.sender_value));
+        const ConditionReport report =
+            protocol.run_and_check(spec, &adversary);
+        if (!report.satisfied) {
+          found = Violation{spec, "behavior#" + std::to_string(counter),
+                            report};
+          return;
+        }
+      }
+    });
+  }
+  return found;
+}
+
+std::uint64_t behavior_search_space(const Config& config, int max_f) {
+  DA_EXPECTS(config.valid());
+  const int limit = max_f < 0 ? config.u : max_f;
+  std::uint64_t total = 0;
+  for (int f = 1; f <= limit; ++f) {
+    for_each_subset(config.n, f, [&](const std::vector<NodeId>& faulty) {
+      ScenarioSpec spec;
+      spec.config = config;
+      spec.sender = 0;
+      spec.faulty = faulty;
+      total += pow_symbols(controlled_slots(spec).size());
+    });
+  }
+  return total;
+}
+
+}  // namespace da::faults

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "faults/search.hpp"
+
+namespace da::faults {
+
+/// Exhaustive *behaviour* search for depth-2 instances (BYZ(m,m) with
+/// m <= 1): instead of a fixed adversary family, enumerate every
+/// deterministic assignment of values to every message a faulty node
+/// sends, over the canonical four-symbol alphabet
+///
+///     { sender's value, forged w1, forged w2, V_d }.
+///
+/// For threshold-vote protocols a message's effect depends only on the
+/// equality pattern among received values; a violation of D.1/D.3 needs
+/// the forged bloc concentrated on one non-sender value, and a violation
+/// of D.2/D.4 needs at most two distinct fault-free classes — so two
+/// distinct forged symbols cover every equality pattern an adversary can
+/// force, and omission is equivalent to delivering V_d (an unset EIG slot
+/// reads as V_d). Under that standard canonicalization the sweep is
+/// adversary-complete, not merely family-complete.
+///
+/// Controlled slots per faulty node: its round-0 broadcast (if it is the
+/// sender: n-1 destinations) and its round-1 relay of the sender slot
+/// (n-2 destinations). The enumeration is exponential in the slot count:
+/// keep n small (n = 4: <= 4^7; n = 5: <= 4^11 in the worst subset).
+///
+/// Returns the first violating scenario, or nullopt if *no behaviour at
+/// all* breaks the conditions — the executable form of Theorem 1 for
+/// these configurations.
+[[nodiscard]] std::optional<Violation> exhaustive_behavior_search(
+    const Config& config, int max_f = -1);
+
+/// Number of protocol executions the search performs (for reporting).
+[[nodiscard]] std::uint64_t behavior_search_space(const Config& config,
+                                                  int max_f = -1);
+
+}  // namespace da::faults

@@ -1,0 +1,59 @@
+#include "faults/figure2.hpp"
+
+#include "faults/adversaries.hpp"
+#include "faults/scripted.hpp"
+#include "util/contracts.hpp"
+
+namespace da::faults::figure2 {
+
+namespace {
+
+Config lower_bound_config(int n) {
+  DA_EXPECTS(n >= 4);
+  // One node short of feasibility: min_nodes(1, n-2) = 2*1 + (n-2) + 1 = n+1.
+  return Config{.n = n, .m = 1, .u = n - 2};
+}
+
+}  // namespace
+
+Scenario scenario_a(int n) {
+  Scenario s;
+  s.name = "(a) A faulty, pretends it received alpha";
+  s.spec.config = lower_bound_config(n);
+  s.spec.sender = 0;
+  s.spec.sender_value = kBeta;
+  s.spec.faulty = {1};
+  s.adversary = constant_liar(kAlpha);
+  s.pivot_node = 2;
+  return s;
+}
+
+Scenario scenario_b(int n) {
+  Scenario s;
+  s.name = "(b) sender faulty, alpha to A and beta to the rest";
+  s.spec.config = lower_bound_config(n);
+  s.spec.sender = 0;
+  s.spec.sender_value = kBeta;  // nominal; the sender is faulty
+  s.spec.faulty = {0};
+  s.adversary = scripted({
+      Rule{.from = 0, .to = 1, .action = Rule::Action::kReplace,
+           .value = kAlpha},
+      Rule{.from = 0, .action = Rule::Action::kReplace, .value = kBeta},
+  });
+  s.pivot_node = 2;
+  return s;
+}
+
+Scenario scenario_c(int n) {
+  Scenario s;
+  s.name = "(c) B and C faulty, pretend they received beta";
+  s.spec.config = lower_bound_config(n);
+  s.spec.sender = 0;
+  s.spec.sender_value = kAlpha;
+  for (NodeId id = 2; id < n; ++id) s.spec.faulty.push_back(id);
+  s.adversary = constant_liar(kBeta);
+  s.pivot_node = 1;
+  return s;
+}
+
+}  // namespace da::faults::figure2

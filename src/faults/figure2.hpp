@@ -1,0 +1,45 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "sim/adversary.hpp"
+
+namespace da::faults::figure2 {
+
+/// The two distinct non-default values of the Figure 2 argument
+/// (V_d != alpha != beta != V_d).
+inline const Value kAlpha = Value::of(101);
+inline const Value kBeta = Value::of(202);
+
+/// One of the three fault scenarios of the Theorem 2 lower-bound proof,
+/// generalized from the 4-node Figure 2 to N = 2m+u nodes with m = 1
+/// (groups: S = {0}, A = {1}, B = {2}, C = {3..n-1}; for n = 4 this is the
+/// figure verbatim).
+///
+///  (a) A faulty; sender value beta; A pretends it received alpha.
+///      f = 1 <= m, so D.1 demands everyone decide beta.
+///  (b) S faulty; S sends alpha to A and beta to everyone else.
+///      f = 1 <= m, so D.2 demands one identical decision. Node B's view is
+///      identical to scenario (a), forcing that decision to be beta.
+///  (c) B and C faulty; sender value alpha; B,C pretend they received beta.
+///      f = u, so D.3 demands A decide alpha or V_d. Node A's view is
+///      identical to scenario (b), where it had to decide beta —
+///      contradiction: no protocol satisfies all three with N = 2m+u.
+struct Scenario {
+  std::string name;
+  ScenarioSpec spec;
+  std::unique_ptr<sim::Adversary> adversary;
+  /// The receiver whose indistinguishable views drive the argument at this
+  /// step (B for the a/b pair, A for the b/c pair).
+  NodeId pivot_node = kNoNode;
+};
+
+/// n must be at least 4; the scenarios use config {n, m=1, u=n-2}, which is
+/// exactly one node short of feasibility (min_nodes(1, n-2) = n+1).
+[[nodiscard]] Scenario scenario_a(int n);
+[[nodiscard]] Scenario scenario_b(int n);
+[[nodiscard]] Scenario scenario_c(int n);
+
+}  // namespace da::faults::figure2

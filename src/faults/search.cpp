@@ -1,0 +1,175 @@
+#include "faults/search.hpp"
+
+#include <algorithm>
+
+#include "faults/adversaries.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace da::faults {
+
+std::vector<NamedAdversaryFactory> standard_family(std::uint64_t seed) {
+  std::vector<NamedAdversaryFactory> family;
+
+  family.push_back({"silent", [](const ScenarioSpec&) { return silent(); }});
+  family.push_back(
+      {"default_spammer",
+       [](const ScenarioSpec&) { return default_spammer(); }});
+  family.push_back({"constant_liar(v+1)", [](const ScenarioSpec& s) {
+                      return constant_liar(Value::of(s.sender_value.raw() + 1));
+                    }});
+  family.push_back({"constant_liar(v)", [](const ScenarioSpec& s) {
+                      return constant_liar(s.sender_value);
+                    }});
+  family.push_back({"equivocator(v,v+1)", [](const ScenarioSpec& s) {
+                      return equivocator(s.sender_value,
+                                         Value::of(s.sender_value.raw() + 1));
+                    }});
+  family.push_back({"equivocator(v+1,v+2)", [](const ScenarioSpec& s) {
+                      return equivocator(Value::of(s.sender_value.raw() + 1),
+                                         Value::of(s.sender_value.raw() + 2));
+                    }});
+  family.push_back({"equivocator(v+1,Vd)", [](const ScenarioSpec& s) {
+                      return equivocator(Value::of(s.sender_value.raw() + 1),
+                                         Value::def());
+                    }});
+  family.push_back({"pivot_equivocator(mid)", [](const ScenarioSpec& s) {
+                      return pivot_equivocator(
+                          s.sender_value, Value::of(s.sender_value.raw() + 1),
+                          s.config.n / 2);
+                    }});
+  family.push_back({"targeted_split(low half)", [](const ScenarioSpec& s) {
+                      std::vector<NodeId> target;
+                      for (NodeId id = 0; id < s.config.n / 2; ++id) {
+                        target.push_back(id);
+                      }
+                      return targeted_split(std::move(target),
+                                            Value::of(s.sender_value.raw() + 1));
+                    }});
+  family.push_back(
+      {"crash_after(0)", [](const ScenarioSpec&) { return crash_after(0); }});
+  family.push_back(
+      {"crash_after(1)", [](const ScenarioSpec&) { return crash_after(1); }});
+  for (int k = 0; k < 3; ++k) {
+    family.push_back(
+        {"random_noise#" + std::to_string(k),
+         [seed, k](const ScenarioSpec& s) {
+           return random_noise(mix64(seed, static_cast<std::uint64_t>(k)),
+                               s.sender_value.raw() - 2,
+                               s.sender_value.raw() + 2, 0.25);
+         }});
+  }
+  return family;
+}
+
+void for_each_subset(
+    int n, int k,
+    const std::function<void(const std::vector<NodeId>&)>& fn) {
+  DA_EXPECTS(0 <= k && k <= n);
+  std::vector<NodeId> subset(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) subset[static_cast<std::size_t>(i)] = i;
+  for (;;) {
+    fn(subset);
+    // Next combination in lexicographic order.
+    int i = k - 1;
+    while (i >= 0 &&
+           subset[static_cast<std::size_t>(i)] == n - k + i) {
+      --i;
+    }
+    if (i < 0) return;
+    ++subset[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      subset[static_cast<std::size_t>(j)] =
+          subset[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+namespace {
+
+std::uint64_t binomial(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  std::uint64_t r = 1;
+  for (int i = 1; i <= k; ++i) {
+    r = r * static_cast<std::uint64_t>(n - k + i) /
+        static_cast<std::uint64_t>(i);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t search_space_size(const Config& config,
+                                const SearchOptions& options) {
+  const int max_f = options.max_f < 0 ? config.u : options.max_f;
+  const std::uint64_t senders =
+      options.all_senders ? static_cast<std::uint64_t>(config.n) : 1;
+  const std::uint64_t advs = standard_family(options.seed).size();
+  std::uint64_t subsets = 0;
+  for (int f = 0; f <= max_f; ++f) {
+    subsets += binomial(config.n, f) +
+               static_cast<std::uint64_t>(options.random_trials);
+  }
+  return senders * advs * subsets;
+}
+
+std::optional<Violation> search_violation(const Config& config,
+                                          const SearchOptions& options) {
+  DA_EXPECTS(config.valid());
+  const int max_f = options.max_f < 0 ? config.u : options.max_f;
+  const auto family = standard_family(options.seed);
+  const DegradableAgreement protocol(config);
+  Rng rng(mix64(options.seed, 0xda));
+
+  std::optional<Violation> found;
+  const auto try_scenario = [&](const ScenarioSpec& spec) -> bool {
+    for (const auto& factory : family) {
+      if (spec.f() == 0 && factory.name != "silent") {
+        // With no faulty nodes every adversary is a no-op; run once.
+        continue;
+      }
+      auto adversary = factory.make(spec);
+      const ConditionReport report =
+          protocol.run_and_check(spec, adversary.get());
+      if (!report.satisfied) {
+        found = Violation{spec, factory.name, report};
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<NodeId> senders{0};
+  if (options.all_senders) {
+    senders.clear();
+    for (NodeId s = 0; s < config.n; ++s) senders.push_back(s);
+  }
+
+  for (NodeId sender : senders) {
+    for (int f = 0; f <= max_f; ++f) {
+      bool stop = false;
+      for_each_subset(config.n, f, [&](const std::vector<NodeId>& faulty) {
+        if (stop) return;
+        ScenarioSpec spec;
+        spec.config = config;
+        spec.sender = sender;
+        spec.sender_value = Value::of(7);
+        spec.faulty = faulty;
+        if (try_scenario(spec)) stop = true;
+      });
+      if (stop) return found;
+      for (int t = 0; t < options.random_trials; ++t) {
+        ScenarioSpec spec;
+        spec.config = config;
+        spec.sender = sender;
+        spec.sender_value = Value::of(rng.range(1, 100));
+        const std::vector<int> subset = rng.subset(config.n, f);
+        spec.faulty.assign(subset.begin(), subset.end());
+        if (try_scenario(spec)) return found;
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace da::faults

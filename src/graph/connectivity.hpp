@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
+
+namespace da::graph {
+
+/// Maximum number of internally vertex-disjoint s-t paths (s != t, non-
+/// adjacent or adjacent both handled; an s-t edge counts as one path).
+/// Computed by unit-capacity max-flow on the split-node digraph (Even's
+/// construction realizing Menger's theorem).
+[[nodiscard]] int max_disjoint_paths(const Graph& g, NodeId s, NodeId t);
+
+/// Up to `k` internally vertex-disjoint s-t paths, each path listed as the
+/// node sequence s,...,t. Returns as many as exist (<= k). Extracted by flow
+/// decomposition of the max-flow used in `max_disjoint_paths`.
+[[nodiscard]] std::vector<std::vector<NodeId>> disjoint_paths(const Graph& g,
+                                                              NodeId s,
+                                                              NodeId t, int k);
+
+/// Vertex connectivity of `g`: the minimum, over non-adjacent pairs (plus
+/// the degree bound), of the max number of disjoint paths. For the complete
+/// graph K_n this is n-1 by convention.
+[[nodiscard]] int vertex_connectivity(const Graph& g);
+
+/// A minimum vertex cut separating s and t (empty if s,t adjacent and
+/// no cut exists short of removing endpoints). Nodes in the cut exclude
+/// s and t themselves.
+[[nodiscard]] std::vector<NodeId> min_vertex_cut(const Graph& g, NodeId s,
+                                                 NodeId t);
+
+}  // namespace da::graph

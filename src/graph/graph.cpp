@@ -1,0 +1,92 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace da::graph {
+
+Graph::Graph(int n) : n_(n) {
+  DA_EXPECTS(n >= 1);
+  adj_.assign(static_cast<std::size_t>(n),
+              std::vector<bool>(static_cast<std::size_t>(n), false));
+  nbr_.assign(static_cast<std::size_t>(n), {});
+}
+
+void Graph::add_edge(NodeId a, NodeId b) {
+  check_node(a);
+  check_node(b);
+  DA_EXPECTS(a != b);
+  if (adj_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]) return;
+  adj_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = true;
+  adj_[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = true;
+  nbr_[static_cast<std::size_t>(a)].push_back(b);
+  nbr_[static_cast<std::size_t>(b)].push_back(a);
+  ++edges_;
+}
+
+void Graph::remove_edge(NodeId a, NodeId b) {
+  check_node(a);
+  check_node(b);
+  if (!has_edge(a, b)) return;
+  adj_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = false;
+  adj_[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = false;
+  auto erase_from = [](std::vector<NodeId>& v, NodeId x) {
+    v.erase(std::remove(v.begin(), v.end(), x), v.end());
+  };
+  erase_from(nbr_[static_cast<std::size_t>(a)], b);
+  erase_from(nbr_[static_cast<std::size_t>(b)], a);
+  --edges_;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  return adj_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
+  check_node(v);
+  return nbr_[static_cast<std::size_t>(v)];
+}
+
+int Graph::degree(NodeId v) const {
+  check_node(v);
+  return static_cast<int>(nbr_[static_cast<std::size_t>(v)].size());
+}
+
+bool Graph::connected() const {
+  std::vector<bool> seen(static_cast<std::size_t>(n_), false);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = true;
+  int count = 0;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    ++count;
+    for (NodeId w : neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        q.push(w);
+      }
+    }
+  }
+  return count == n_;
+}
+
+bool Graph::complete() const {
+  return edges_ == static_cast<std::size_t>(n_) *
+                       static_cast<std::size_t>(n_ - 1) / 2;
+}
+
+std::string Graph::to_string() const {
+  std::string s = "graph(n=" + std::to_string(n_) + "){";
+  for (NodeId v = 0; v < n_; ++v) {
+    for (NodeId w : neighbors(v)) {
+      if (v < w) s += " " + std::to_string(v) + "-" + std::to_string(w);
+    }
+  }
+  return s + " }";
+}
+
+}  // namespace da::graph

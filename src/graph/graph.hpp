@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/ids.hpp"
+
+namespace da::graph {
+
+/// A simple undirected graph on nodes 0..n-1, stored both as an adjacency
+/// matrix (O(1) edge queries for the network models) and adjacency lists
+/// (fast iteration for flow / BFS).
+class Graph {
+ public:
+  explicit Graph(int n);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  /// Adds undirected edge {a,b}. Idempotent; self-loops are rejected.
+  void add_edge(NodeId a, NodeId b);
+
+  void remove_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId v) const;
+
+  [[nodiscard]] int degree(NodeId v) const;
+
+  [[nodiscard]] bool connected() const;
+
+  /// True if every pair of nodes is adjacent.
+  [[nodiscard]] bool complete() const;
+
+  /// Graphviz-ish description, for debugging.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void check_node(NodeId v) const {
+    DA_EXPECTS(v >= 0 && v < n_);
+  }
+
+  int n_;
+  std::size_t edges_ = 0;
+  std::vector<std::vector<bool>> adj_;
+  std::vector<std::vector<NodeId>> nbr_;
+};
+
+}  // namespace da::graph

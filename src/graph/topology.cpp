@@ -1,0 +1,76 @@
+#include "graph/topology.hpp"
+
+#include "util/rng.hpp"
+
+namespace da::graph {
+
+Graph complete(int n) {
+  Graph g(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) g.add_edge(a, b);
+  }
+  return g;
+}
+
+Graph ring(int n) {
+  DA_EXPECTS(n >= 3);
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+Graph hypercube(int dim) {
+  DA_EXPECTS(dim >= 1 && dim <= 16);
+  const int n = 1 << dim;
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (int b = 0; b < dim; ++b) {
+      const NodeId w = v ^ (1 << b);
+      if (v < w) g.add_edge(v, w);
+    }
+  }
+  return g;
+}
+
+Graph circulant(int n, int k) {
+  DA_EXPECTS(k >= 1 && n > 2 * k);
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (int d = 1; d <= k; ++d) g.add_edge(v, (v + d) % n);
+  }
+  return g;
+}
+
+Graph separator_graph(int a, int cut, int b) {
+  DA_EXPECTS(a >= 1 && b >= 1 && cut >= 1);
+  const int n = a + cut + b;
+  Graph g(n);
+  auto connect_range = [&g](int lo, int hi) {  // clique on [lo,hi)
+    for (NodeId x = lo; x < hi; ++x)
+      for (NodeId y = x + 1; y < hi; ++y) g.add_edge(x, y);
+  };
+  connect_range(0, a);
+  connect_range(a + cut, n);
+  for (NodeId s = a; s < a + cut; ++s) {
+    for (NodeId x = 0; x < n; ++x) {
+      if (x != s) g.add_edge(s, x);
+    }
+  }
+  return g;
+}
+
+Graph random_at_least_k_connected(int n, int k, double p, std::uint64_t seed) {
+  DA_EXPECTS(k >= 1);
+  const int half = (k + 1) / 2;
+  DA_EXPECTS(n > 2 * half);
+  Graph g = circulant(n, half);
+  Rng rng(seed);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (!g.has_edge(a, b) && rng.chance(p)) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+}  // namespace da::graph

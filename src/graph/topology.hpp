@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace da::graph {
+
+/// K_n: every pair adjacent. Connectivity n-1. This is the network
+/// algorithm BYZ assumes (Section 4: "BYZ assumes that the nodes are fully
+/// connected").
+[[nodiscard]] Graph complete(int n);
+
+/// Cycle 0-1-...-(n-1)-0. Connectivity 2.
+[[nodiscard]] Graph ring(int n);
+
+/// d-dimensional hypercube on 2^d nodes. Connectivity d.
+[[nodiscard]] Graph hypercube(int dim);
+
+/// Circulant graph C_n(1..k): node i adjacent to i±1,...,i±k (mod n).
+/// Vertex connectivity 2k for n > 2k — a convenient family with exactly
+/// tunable connectivity for the Theorem 3 experiments.
+[[nodiscard]] Graph circulant(int n, int k);
+
+/// Two cliques of sizes a and b bridged by `cut` shared... rather: a
+/// "barbell" with an explicit separator: nodes {0..a-1} form a clique,
+/// nodes {a..a+cut-1} are the separator (complete to both sides), nodes
+/// {a+cut..a+cut+b-1} form the other clique. Vertex connectivity is
+/// exactly `cut` (for a,b >= 1). Used by the connectivity lower-bound
+/// scenario: the separator is the paper's cut set F = F1 u F2.
+[[nodiscard]] Graph separator_graph(int a, int cut, int b);
+
+/// Random graph guaranteed k-connected: start from circulant(n,ceil(k/2))
+/// and add random extra edges with probability p. (Adding edges never
+/// reduces connectivity.)
+[[nodiscard]] Graph random_at_least_k_connected(int n, int k, double p,
+                                                std::uint64_t seed);
+
+}  // namespace da::graph

@@ -1,0 +1,42 @@
+#include "protocols/authenticated/signatures.hpp"
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace da::protocols::authenticated {
+
+SignatureAuthority::SignatureAuthority(std::uint64_t seed, int n) {
+  DA_EXPECTS(n >= 1);
+  secrets_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    secrets_.push_back(mix64(seed, static_cast<std::uint64_t>(i) + 1));
+  }
+}
+
+std::uint64_t SignatureAuthority::sign(NodeId signer, Value value,
+                                       std::uint64_t previous) const {
+  DA_EXPECTS(signer >= 0 && signer < n());
+  const std::uint64_t payload =
+      mix64(static_cast<std::uint64_t>(value.raw()),
+            value.is_default() ? 0xD0D0ULL : 0x1111ULL);
+  return mix64(secrets_[static_cast<std::size_t>(signer)],
+               mix64(payload, previous));
+}
+
+std::uint64_t SignatureAuthority::chain_tag(const Path& path,
+                                            Value value) const {
+  std::uint64_t tag = 0;
+  for (NodeId signer : path) tag = sign(signer, value, tag);
+  return tag;
+}
+
+bool SignatureAuthority::verify_chain(const Path& path, Value value,
+                                      std::uint64_t tag) const {
+  if (path.empty()) return false;
+  for (NodeId signer : path) {
+    if (signer < 0 || signer >= n()) return false;
+  }
+  return chain_tag(path, value) == tag;
+}
+
+}  // namespace da::protocols::authenticated

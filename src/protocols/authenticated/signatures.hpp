@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/path.hpp"
+#include "util/value.hpp"
+
+namespace da::protocols::authenticated {
+
+/// Simulated PKI for the signed-messages algorithm SM(m) of Lamport,
+/// Shostak & Pease (the paper's reference [7], §A4).
+///
+/// A signature is a 64-bit tag binding (signer, value, previous-chain
+/// tag). Per-node secrets never leave this registry; the Byzantine
+/// adversaries in `faults/` rewrite message fields blindly, so altering a
+/// signed value without the signer's secret produces an invalid chain —
+/// assumption A4 ("a loyal general's signature cannot be forged") holds by
+/// construction. Forging by 64-bit collision is ignored, as in practice.
+///
+/// Signing-capable adversaries (below) model *traitorous* signers: they
+/// may re-sign arbitrary values with the secrets of faulty nodes only.
+class SignatureAuthority {
+ public:
+  SignatureAuthority(std::uint64_t seed, int n);
+
+  [[nodiscard]] int n() const { return static_cast<int>(secrets_.size()); }
+
+  /// Tag for `signer` signing (value, previous tag).
+  [[nodiscard]] std::uint64_t sign(NodeId signer, Value value,
+                                   std::uint64_t previous) const;
+
+  /// Verifies the whole chain: path[0] signed the value first, each later
+  /// hop countersigned. `tag` must equal the accumulated tag.
+  [[nodiscard]] bool verify_chain(const Path& path, Value value,
+                                  std::uint64_t tag) const;
+
+  /// Accumulated tag for a chain of signers (used by honest processes and
+  /// by signing adversaries for all-faulty chains).
+  [[nodiscard]] std::uint64_t chain_tag(const Path& path, Value value) const;
+
+ private:
+  std::vector<std::uint64_t> secrets_;
+};
+
+}  // namespace da::protocols::authenticated

@@ -1,0 +1,72 @@
+#include "protocols/common/eig.hpp"
+
+#include <algorithm>
+
+#include "protocols/common/vote.hpp"
+#include "util/contracts.hpp"
+
+namespace da::protocols {
+
+EigTree::EigTree(NodeId self, NodeId sender, std::vector<NodeId> nodes,
+                 int depth)
+    : self_(self), sender_(sender), nodes_(std::move(nodes)), depth_(depth) {
+  DA_EXPECTS(depth_ >= 1);
+  DA_EXPECTS(static_cast<std::size_t>(depth_) <= Path::kMaxLen);
+  DA_EXPECTS(std::find(nodes_.begin(), nodes_.end(), sender_) != nodes_.end());
+  DA_EXPECTS(std::find(nodes_.begin(), nodes_.end(), self_) != nodes_.end());
+  std::sort(nodes_.begin(), nodes_.end());
+}
+
+void EigTree::set(const Path& path, Value v) {
+  DA_EXPECTS(!path.empty() && path.front() == sender_);
+  DA_EXPECTS(static_cast<int>(path.size()) <= depth_);
+  values_.emplace(path, v);  // first write wins
+}
+
+Value EigTree::get(const Path& path) const {
+  const auto it = values_.find(path);
+  return it == values_.end() ? Value::def() : it->second;
+}
+
+bool EigTree::has(const Path& path) const { return values_.contains(path); }
+
+Value EigTree::resolve(const Resolver& rule) const {
+  Path root;
+  root.push_back(sender_);
+  return resolve_at(root, rule);
+}
+
+Value EigTree::resolve_at(const Path& path, const Resolver& rule) const {
+  if (static_cast<int>(path.size()) == depth_) return get(path);
+
+  // Sub-instance size: the recursion drops one node per level.
+  const int n_sub = static_cast<int>(nodes_.size()) -
+                    static_cast<int>(path.size()) + 1;
+
+  std::vector<Value> w;
+  w.reserve(static_cast<std::size_t>(n_sub) - 1);
+  // w_i: the value this receiver heard directly through `path`.
+  w.push_back(get(path));
+  // w_j: recursively resolved values of the other sub-receivers.
+  for (NodeId j : nodes_) {
+    if (j == self_ || path.contains(j)) continue;
+    w.push_back(resolve_at(path.extended(j), rule));
+  }
+  DA_ENSURES(static_cast<int>(w.size()) == n_sub - 1);
+  return rule.resolve(n_sub, w);
+}
+
+ByzResolver::ByzResolver(int m) : m_(m) { DA_EXPECTS(m >= 0); }
+
+Value ByzResolver::resolve(int n_sub, std::span<const Value> w) const {
+  const int alpha = n_sub - 1 - m_;
+  DA_EXPECTS(alpha >= 1);
+  return vote(w, static_cast<std::size_t>(alpha));
+}
+
+Value MajorityResolver::resolve(int n_sub, std::span<const Value> w) const {
+  (void)n_sub;
+  return majority(w);
+}
+
+}  // namespace da::protocols

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/path.hpp"
+#include "util/value.hpp"
+
+namespace da::protocols {
+
+/// Resolution rule applied when folding an EIG (exponential information
+/// gathering) tree bottom-up. `n_sub` is the number of nodes participating
+/// in the sub-instance rooted at the path being resolved — exactly the `n`
+/// of the recursive call BYZ(t,m) that the paper's algorithm would have made
+/// there — and `w` are the n_sub-1 values of step 3.
+class Resolver {
+ public:
+  virtual ~Resolver() = default;
+  [[nodiscard]] virtual Value resolve(int n_sub,
+                                      std::span<const Value> w) const = 0;
+};
+
+/// The message tree of a recursive agreement protocol, from one receiver's
+/// point of view.
+///
+/// The recursion of BYZ(t,m) (and of Lamport's OM(m)) unfolds into m+1
+/// communication rounds: a value relayed through the chain of distinct
+/// nodes p_0=sender, p_1, ..., p_r is stored at path [p_0,...,p_r]. A slot
+/// that was never filled (omitted message) reads as the default value V_d —
+/// assumption (b) of Section 4: the absence of a message can be detected.
+///
+/// `resolve` then computes the receiver's decision exactly as step 3 of
+/// BYZ(t,m): at an internal path sigma, the receiver's value vector is its
+/// own directly-received value for sigma plus the recursively resolved
+/// values of the sub-senders j (j not in sigma, j != self), folded with the
+/// supplied rule.
+class EigTree {
+ public:
+  /// `nodes` lists every participant (sender included); `depth` is the
+  /// number of rounds (maximum path length).
+  EigTree(NodeId self, NodeId sender, std::vector<NodeId> nodes, int depth);
+
+  /// Stores a received value. First write wins (duplicate deliveries for
+  /// the same path are ignored; receivers validate structure upstream).
+  void set(const Path& path, Value v);
+
+  /// Value at `path`; V_d if never set.
+  [[nodiscard]] Value get(const Path& path) const;
+
+  [[nodiscard]] bool has(const Path& path) const;
+
+  /// Fold the tree with `rule` starting from the root path [sender].
+  [[nodiscard]] Value resolve(const Resolver& rule) const;
+
+  [[nodiscard]] int depth() const { return depth_; }
+  [[nodiscard]] std::size_t stored() const { return values_.size(); }
+  [[nodiscard]] const std::vector<NodeId>& nodes() const { return nodes_; }
+
+ private:
+  [[nodiscard]] Value resolve_at(const Path& path, const Resolver& rule) const;
+
+  NodeId self_;
+  NodeId sender_;
+  std::vector<NodeId> nodes_;
+  int depth_;
+  std::unordered_map<Path, Value> values_;
+};
+
+/// BYZ(t,m)'s rule: VOTE(n_sub - 1 - m, n_sub - 1). The fixed `m` threads
+/// through every level of the recursion (the paper: "the values of n and t
+/// change at each level of the recursion, however, the value of m remains
+/// fixed").
+class ByzResolver final : public Resolver {
+ public:
+  explicit ByzResolver(int m);
+  [[nodiscard]] Value resolve(int n_sub,
+                              std::span<const Value> w) const override;
+
+ private:
+  int m_;
+};
+
+/// Lamport OM(m)'s rule: simple majority, default on no-majority.
+class MajorityResolver final : public Resolver {
+ public:
+  [[nodiscard]] Value resolve(int n_sub,
+                              std::span<const Value> w) const override;
+};
+
+}  // namespace da::protocols

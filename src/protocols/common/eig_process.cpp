@@ -1,0 +1,109 @@
+#include "protocols/common/eig_process.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace da::protocols {
+
+EigProcess::EigProcess(Params params)
+    : params_(std::move(params)),
+      tree_(params_.self, params_.sender, params_.nodes, params_.depth) {
+  DA_EXPECTS(params_.resolver != nullptr);
+  DA_EXPECTS(params_.depth >= 1);
+  if (params_.self == params_.sender) {
+    DA_EXPECTS(!params_.input.is_default());
+  }
+}
+
+std::vector<sim::Message> EigProcess::start() {
+  std::vector<sim::Message> out;
+  if (params_.self != params_.sender) return out;
+  Path root;
+  root.push_back(params_.sender);
+  for (NodeId to : tree_.nodes()) {
+    if (to == params_.self) continue;
+    out.push_back(sim::Message{.from = params_.self,
+                               .to = to,
+                               .round = 0,
+                               .path = root,
+                               .value = params_.input});
+  }
+  return out;
+}
+
+bool EigProcess::valid_message(int round, const sim::Message& msg) const {
+  if (msg.to != params_.self) return false;
+  if (static_cast<int>(msg.path.size()) != round + 1) return false;
+  if (msg.path.front() != params_.sender) return false;
+  if (msg.path.back() != msg.from) return false;
+  if (!msg.path.distinct()) return false;
+  if (msg.path.contains(params_.self)) return false;
+  // Every relayer must be a participant.
+  for (NodeId hop : msg.path) {
+    if (!std::binary_search(tree_.nodes().begin(), tree_.nodes().end(), hop)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<sim::Message> EigProcess::on_round(
+    int round, const std::vector<sim::Message>& inbox) {
+  std::vector<Path> fresh;
+  for (const sim::Message& msg : inbox) {
+    if (!valid_message(round, msg)) continue;
+    if (tree_.has(msg.path)) continue;  // duplicate: first delivery wins
+    tree_.set(msg.path, msg.value);
+    fresh.push_back(msg.path);
+  }
+
+  std::vector<sim::Message> out;
+  if (round + 1 >= params_.depth || params_.self == params_.sender) {
+    return out;
+  }
+  // Relay each value received this round with our id appended. Omitted
+  // incoming messages are not re-materialized: the downstream receiver
+  // observes our silence for that path as V_d, exactly as we did.
+  for (const Path& path : fresh) {
+    const Path extended = path.extended(params_.self);
+    for (NodeId to : tree_.nodes()) {
+      if (to == params_.self || extended.contains(to)) continue;
+      out.push_back(sim::Message{.from = params_.self,
+                                 .to = to,
+                                 .round = round + 1,
+                                 .path = extended,
+                                 .value = tree_.get(path)});
+    }
+  }
+  return out;
+}
+
+Value EigProcess::decide() const {
+  if (params_.self == params_.sender) return params_.input;
+  return tree_.resolve(*params_.resolver);
+}
+
+std::vector<std::unique_ptr<sim::Process>> make_eig_processes(
+    int n, NodeId sender, Value input, int depth,
+    std::shared_ptr<const Resolver> resolver) {
+  DA_EXPECTS(n >= 2);
+  DA_EXPECTS(sender >= 0 && sender < n);
+  std::vector<NodeId> nodes(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) nodes[static_cast<std::size_t>(i)] = i;
+
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  procs.reserve(static_cast<std::size_t>(n));
+  for (NodeId self = 0; self < n; ++self) {
+    procs.push_back(std::make_unique<EigProcess>(EigProcess::Params{
+        .self = self,
+        .sender = sender,
+        .nodes = nodes,
+        .depth = depth,
+        .input = self == sender ? input : Value::def(),
+        .resolver = resolver}));
+  }
+  return procs;
+}
+
+}  // namespace da::protocols

@@ -1,0 +1,36 @@
+#include "protocols/common/vote.hpp"
+
+#include <unordered_map>
+
+#include "util/contracts.hpp"
+
+namespace da::protocols {
+
+Value vote(std::span<const Value> values, std::size_t alpha) {
+  DA_EXPECTS(alpha >= 1);
+  std::unordered_map<Value, std::size_t> counts;
+  counts.reserve(values.size());
+  for (const Value& v : values) ++counts[v];
+
+  bool found = false;
+  Value winner = Value::def();
+  for (const auto& [v, c] : counts) {
+    if (c >= alpha) {
+      if (found) return Value::def();  // tie: two values reach the threshold
+      found = true;
+      winner = v;
+    }
+  }
+  return found ? winner : Value::def();
+}
+
+Value majority(std::span<const Value> values) {
+  if (values.empty()) return Value::def();
+  return vote(values, values.size() / 2 + 1);
+}
+
+Value k_of_n_vote(std::span<const Value> values, std::size_t k) {
+  return vote(values, k);
+}
+
+}  // namespace da::protocols

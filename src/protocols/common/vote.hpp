@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/value.hpp"
+
+namespace da::protocols {
+
+/// The paper's VOTE(alpha, beta) of beta values (Section 4):
+///
+///   "Define VOTE(alpha, beta) of values w_1..w_beta as phi if at least
+///    alpha of the values are equal to phi, else VOTE is defined to be the
+///    default value V_d. Also, in case of a tie, define VOTE = V_d."
+///
+/// Concretely: if exactly one value reaches the alpha threshold the vote is
+/// that value; if none does, or if two or more distinct values reach it
+/// (a tie, possible when 2*alpha <= beta), the vote is V_d. The default
+/// value itself may win the vote (the result is then V_d anyway).
+///
+/// Examples from the paper: VOTE(2,4) of {1,2,2,3} = 2;
+/// VOTE(2,4) of {1,2,0,3} = V_d; VOTE(2,4) of {1,2,2,1} = V_d (tie).
+[[nodiscard]] Value vote(std::span<const Value> values, std::size_t alpha);
+
+/// Simple-majority resolve used by Lamport's OM(m): the value held by more
+/// than half of the inputs, V_d when no strict majority exists. Equivalent
+/// to vote(values, floor(beta/2)+1).
+[[nodiscard]] Value majority(std::span<const Value> values);
+
+/// The external voter of Section 3: k-out-of-n vote ("(m+u)-out-of-(2m+u)
+/// vote of 2m+u values is phi if (m+u) values are phi, default value
+/// otherwise"). Identical semantics to vote() with alpha = k.
+[[nodiscard]] Value k_of_n_vote(std::span<const Value> values, std::size_t k);
+
+}  // namespace da::protocols

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/adversary.hpp"
+#include "util/ids.hpp"
+#include "util/value.hpp"
+
+namespace da::protocols::ic {
+
+/// Builds the adversary controlling the faulty nodes for the agreement
+/// instance whose sender is the given node (adversaries may differ per
+/// instance — the worst case).
+using AdversaryFactory =
+    std::function<std::unique_ptr<sim::Adversary>(NodeId instance_sender)>;
+
+struct IcResult {
+  /// vectors[p][q] = what node p decided node q's private value is.
+  std::map<NodeId, std::vector<Value>> vectors;
+  std::size_t messages_sent = 0;
+};
+
+/// Pease-Shostak-Lamport interactive consistency (the paper's reference
+/// [9]): every node distributes its private value with OM(m); fault-free
+/// nodes end with a vector of all N values. Used for the Bhandari
+/// comparison: IC-style algorithms cannot degrade gracefully past N/3
+/// faults, whereas m/u-degradable agreement (m < (N-1)/3) can.
+[[nodiscard]] IcResult run_interactive_consistency(
+    int n, int m, const std::vector<Value>& inputs,
+    const std::vector<NodeId>& faulty, const AdversaryFactory& adversaries);
+
+/// IC validity: all fault-free nodes computed identical vectors, and the
+/// entry for every fault-free node equals that node's input.
+[[nodiscard]] bool interactive_consistency_holds(
+    const IcResult& result, const std::vector<Value>& inputs,
+    const std::vector<NodeId>& faulty);
+
+/// Graceful-degradation metric used by experiment E8: the largest set of
+/// fault-free nodes whose vectors are pairwise identical. Under IC with
+/// f <= m this is all of them; past N/3 it may collapse to 1. (Bhandari:
+/// no interactive-consistency algorithm keeps a nontrivial guarantee there.)
+[[nodiscard]] int largest_identical_vector_group(
+    const IcResult& result, const std::vector<NodeId>& faulty, int n);
+
+}  // namespace da::protocols::ic

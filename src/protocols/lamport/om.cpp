@@ -1,0 +1,48 @@
+#include "protocols/lamport/om.hpp"
+
+#include "util/contracts.hpp"
+
+namespace da::protocols::lamport {
+
+std::vector<std::unique_ptr<sim::Process>> make_om_processes(int n, int m,
+                                                             NodeId sender,
+                                                             Value value) {
+  DA_EXPECTS(m >= 0);
+  return make_eig_processes(n, sender, value, om_rounds(m),
+                            std::make_shared<MajorityResolver>());
+}
+
+int om_rounds(int m) {
+  DA_EXPECTS(m >= 0);
+  return m + 1;
+}
+
+std::uint64_t om_message_count(int n, int m) {
+  DA_EXPECTS(n >= 2 && m >= 0);
+  std::uint64_t total = 0;
+  std::uint64_t level = 1;
+  for (int r = 1; r <= om_rounds(m); ++r) {
+    level *= static_cast<std::uint64_t>(n - r);
+    total += level;
+  }
+  return total;
+}
+
+bool byzantine_agreement_holds(
+    NodeId sender, Value sender_value, bool sender_faulty,
+    const std::vector<NodeId>& fault_free_receivers,
+    const std::map<NodeId, Value>& decisions) {
+  (void)sender;
+  if (fault_free_receivers.empty()) return true;
+  const auto first = decisions.find(fault_free_receivers.front());
+  DA_EXPECTS(first != decisions.end());
+  const Value agreed = first->second;
+  for (NodeId r : fault_free_receivers) {
+    const auto it = decisions.find(r);
+    DA_EXPECTS(it != decisions.end());
+    if (it->second != agreed) return false;
+  }
+  return sender_faulty || agreed == sender_value;
+}
+
+}  // namespace da::protocols::lamport

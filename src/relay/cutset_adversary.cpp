@@ -1,0 +1,61 @@
+#include "relay/cutset_adversary.hpp"
+
+#include "protocols/common/vote.hpp"
+#include "util/contracts.hpp"
+
+namespace da::relay {
+
+namespace {
+
+const Value kAlpha = Value::of(1);
+const Value kBeta = Value::of(2);
+
+std::vector<Value> copies(int count_alpha, int count_beta) {
+  std::vector<Value> v;
+  v.insert(v.end(), static_cast<std::size_t>(count_alpha), kAlpha);
+  v.insert(v.end(), static_cast<std::size_t>(count_beta), kBeta);
+  return v;
+}
+
+}  // namespace
+
+std::vector<ThresholdProbe> probe_thresholds(int m, int u) {
+  DA_EXPECTS(m >= 1 && u >= m);
+  const int kappa = m + u;
+  std::vector<ThresholdProbe> probes;
+  for (int theta = 1; theta <= kappa; ++theta) {
+    ThresholdProbe probe;
+    probe.theta = theta;
+    // S1: fault-free sender sent alpha; F1 (m paths) forged beta.
+    //     D.1 (f = m) requires alpha.
+    probe.s1_decision = protocols::vote(copies(/*alpha=*/u, /*beta=*/m),
+                                        static_cast<std::size_t>(theta));
+    probe.s1_ok = probe.s1_decision == kAlpha;
+    // S2: fault-free sender sent beta; F2 (u paths) forged alpha.
+    //     D.3 (f = u) allows only beta or V_d.
+    probe.s2_decision = protocols::vote(copies(/*alpha=*/u, /*beta=*/m),
+                                        static_cast<std::size_t>(theta));
+    probe.s2_ok =
+        probe.s2_decision == kBeta || probe.s2_decision.is_default();
+    probes.push_back(probe);
+  }
+  return probes;
+}
+
+bool any_threshold_works(int m, int u, int kappa) {
+  DA_EXPECTS(m >= 0 && u >= m && kappa >= 1);
+  for (int theta = 1; theta <= kappa; ++theta) {
+    // S1: m forged copies of beta among kappa; rest carry the true alpha.
+    const Value d1 = protocols::vote(copies(kappa - m, m),
+                                     static_cast<std::size_t>(theta));
+    // S2: u forged copies of alpha among kappa; rest carry the true beta.
+    const Value d2 = protocols::vote(copies(u, kappa - u),
+                                     static_cast<std::size_t>(theta));
+    const bool s1_ok = d1 == kAlpha;
+    const bool s2_ok = d2 == kBeta || d2.is_default();
+    if (s1_ok && s2_ok) return true;
+  }
+  return false;
+}
+
+}  // namespace da::relay

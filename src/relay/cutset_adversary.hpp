@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/value.hpp"
+
+namespace da::relay {
+
+/// The Theorem 3 necessity argument, made executable.
+///
+/// Take connectivity exactly kappa = m+u (one short of the bound) between
+/// sender side G1 and receiver side G2; the cut F splits into F1 (m nodes)
+/// and F2 (u nodes). Any channel scheme reduces to choosing a decision rule
+/// over the kappa path copies. Two fault scenarios are indistinguishable to
+/// G2:
+///   S1: F1 faulty and forging beta  -> copies: m beta + u alpha,
+///       f = m <= m, so D.1 forces G2 to decide alpha;
+///   S2: F2 faulty and forging alpha -> copies: m beta + u alpha (sender's
+///       value beta), f = u <= u, so D.3 allows only beta or V_d.
+/// Identical copy multisets, contradictory requirements: no rule works.
+///
+/// `probe_thresholds` runs every threshold rule VOTE(theta, m+u) through
+/// both scenarios and reports which requirement each theta breaks.
+struct ThresholdProbe {
+  int theta = 0;
+  Value s1_decision{};  // must be alpha for D.1
+  Value s2_decision{};  // must be beta or V_d for D.3
+  bool s1_ok = false;
+  bool s2_ok = false;
+};
+
+[[nodiscard]] std::vector<ThresholdProbe> probe_thresholds(int m, int u);
+
+/// True if some threshold satisfies both scenarios — expected false for
+/// kappa = m+u and true for kappa = m+u+1 (where `probe_thresholds_k`
+/// generalizes to kappa copies: u+1 always works).
+[[nodiscard]] bool any_threshold_works(int m, int u, int kappa);
+
+}  // namespace da::relay

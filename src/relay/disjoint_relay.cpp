@@ -1,0 +1,55 @@
+#include "relay/disjoint_relay.hpp"
+
+#include <algorithm>
+
+#include "graph/connectivity.hpp"
+#include "protocols/common/vote.hpp"
+#include "util/contracts.hpp"
+
+namespace da::relay {
+
+ChannelResult send_along_paths(const std::vector<std::vector<NodeId>>& paths,
+                               Value value, int u,
+                               const std::vector<NodeId>& faulty,
+                               const HopCorruption& corrupt) {
+  const auto is_faulty = [&faulty](NodeId id) {
+    return std::find(faulty.begin(), faulty.end(), id) != faulty.end();
+  };
+
+  ChannelResult result;
+  result.paths = static_cast<int>(paths.size());
+  for (const auto& path : paths) {
+    DA_EXPECTS(path.size() >= 2);
+    Value in_transit = value;
+    bool touched = false;
+    // Endpoints are assumed fault-free for a channel property (the
+    // agreement layer above handles faulty endpoints); interior hops may
+    // corrupt.
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      if (is_faulty(path[i])) {
+        in_transit = corrupt ? corrupt(path[i], in_transit)
+                             : Value::of(in_transit.raw() + 1);
+        touched = true;
+      }
+    }
+    if (touched) ++result.corrupted_paths;
+    result.copies.push_back(in_transit);
+  }
+
+  result.delivered =
+      protocols::vote(result.copies, static_cast<std::size_t>(u) + 1);
+  return result;
+}
+
+ChannelResult degradable_channel_send(const graph::Graph& g, NodeId s,
+                                      NodeId t, Value value, int m, int u,
+                                      const std::vector<NodeId>& faulty,
+                                      const HopCorruption& corrupt) {
+  DA_EXPECTS(m >= 0 && u >= m);
+  const int k = m + u + 1;
+  const auto paths = graph::disjoint_paths(g, s, t, k);
+  DA_EXPECTS(static_cast<int>(paths.size()) == k);  // needs connectivity >= k
+  return send_along_paths(paths, value, u, faulty, corrupt);
+}
+
+}  // namespace da::relay

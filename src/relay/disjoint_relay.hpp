@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
+#include "util/value.hpp"
+
+namespace da::relay {
+
+/// What a faulty intermediate node substitutes for the value it is
+/// relaying (called once per traversed faulty hop).
+using HopCorruption =
+    std::function<Value(NodeId faulty_hop, Value in_transit)>;
+
+/// A *degradable channel* between non-adjacent nodes of a k-connected
+/// graph: the sender pushes its value along k internally vertex-disjoint
+/// paths; the receiver takes VOTE(u+1, k) over the k arriving copies.
+///
+/// With k = m+u+1 disjoint paths this realizes the sufficiency direction
+/// of Theorem 3 (the paper states it without proof):
+///   - at most m faulty intermediates corrupt at most m copies, so at
+///     least u+1 clean copies reach the threshold: the true value wins
+///     (and no forged value can, since m <= u < u+1);
+///   - with f <= u faulty intermediates no forged value reaches u+1
+///     copies either, so the receiver obtains the true value or V_d —
+///     exactly the D.1 / D.3 shape, per link.
+struct ChannelResult {
+  Value delivered{};
+  int paths = 0;
+  int corrupted_paths = 0;
+  std::vector<Value> copies;
+};
+
+[[nodiscard]] ChannelResult degradable_channel_send(
+    const graph::Graph& g, NodeId s, NodeId t, Value value, int m, int u,
+    const std::vector<NodeId>& faulty, const HopCorruption& corrupt);
+
+/// Runs the value along the given explicit paths (each s..t); used by the
+/// tests to control path selection.
+[[nodiscard]] ChannelResult send_along_paths(
+    const std::vector<std::vector<NodeId>>& paths, Value value, int u,
+    const std::vector<NodeId>& faulty, const HopCorruption& corrupt);
+
+}  // namespace da::relay

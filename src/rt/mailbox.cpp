@@ -1,0 +1,38 @@
+#include "rt/mailbox.hpp"
+
+#include "sim/runner.hpp"
+#include "util/contracts.hpp"
+
+namespace da::rt {
+
+Mailbox::Mailbox(int rounds) {
+  DA_EXPECTS(rounds >= 1);
+  by_round_.resize(static_cast<std::size_t>(rounds));
+}
+
+void Mailbox::deposit(int round, const sim::Message& msg) {
+  DA_EXPECTS(round >= 0 &&
+             static_cast<std::size_t>(round) < by_round_.size());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  by_round_[static_cast<std::size_t>(round)].push_back(msg);
+  ++deposited_;
+}
+
+std::vector<sim::Message> Mailbox::drain(int round) {
+  DA_EXPECTS(round >= 0 &&
+             static_cast<std::size_t>(round) < by_round_.size());
+  std::vector<sim::Message> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.swap(by_round_[static_cast<std::size_t>(round)]);
+  }
+  sim::sort_inbox(out);
+  return out;
+}
+
+std::size_t Mailbox::total_deposited() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return deposited_;
+}
+
+}  // namespace da::rt

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace da::rt {
+
+/// A thread-safe per-node, per-round mailbox. Senders deposit during the
+/// send phase of round r; the owner drains once the round barrier has been
+/// passed, so deposits and drains for one round never overlap (the barrier
+/// provides the ordering; the mutex makes concurrent deposits safe).
+class Mailbox {
+ public:
+  explicit Mailbox(int rounds);
+
+  void deposit(int round, const sim::Message& msg);
+
+  /// All messages deposited for `round`, in the canonical inbox order.
+  [[nodiscard]] std::vector<sim::Message> drain(int round);
+
+  [[nodiscard]] std::size_t total_deposited() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<sim::Message>> by_round_;
+  std::size_t deposited_ = 0;
+};
+
+}  // namespace da::rt

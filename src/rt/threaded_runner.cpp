@@ -1,0 +1,134 @@
+#include "rt/threaded_runner.hpp"
+
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "rt/mailbox.hpp"
+#include "util/contracts.hpp"
+
+namespace da::rt {
+
+ThreadedRunner::ThreadedRunner(
+    std::vector<std::unique_ptr<sim::Process>> processes,
+    sim::RunOptions options)
+    : processes_(std::move(processes)), options_(std::move(options)) {
+  DA_EXPECTS(!processes_.empty());
+  DA_EXPECTS(options_.faulty.empty() || options_.adversary != nullptr);
+}
+
+sim::RunResult ThreadedRunner::run() {
+  const int rounds = processes_[0]->total_rounds();
+  for (const auto& p : processes_) DA_EXPECTS(p->total_rounds() == rounds);
+
+  const std::size_t n = processes_.size();
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  mailboxes.reserve(n);
+  std::unordered_map<NodeId, std::size_t> index;
+  for (std::size_t i = 0; i < n; ++i) {
+    mailboxes.push_back(std::make_unique<Mailbox>(rounds));
+    index.emplace(processes_[i]->id(), i);
+  }
+  DA_EXPECTS(index.size() == n);  // ids unique
+
+  std::barrier barrier(static_cast<std::ptrdiff_t>(n));
+  std::mutex shared_mutex;  // serializes adversary/network/trace/counters
+  sim::RunResult result;
+  result.rounds = rounds;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto dispatch = [&](std::vector<sim::Message>&& outbox, NodeId from,
+                            int round, bool fabricated, bool faulty) {
+    for (sim::Message& msg : outbox) {
+      DA_EXPECTS(msg.from == from);
+      msg.round = round;
+      std::optional<sim::Message> delivered;
+      {
+        const std::lock_guard<std::mutex> lock(shared_mutex);
+        ++result.messages_sent;
+        if (fabricated) {
+          delivered = options_.network == nullptr
+                          ? std::optional<sim::Message>(msg)
+                          : options_.network->transit(msg);
+        } else {
+          delivered = sim::filter_message(msg, options_, faulty);
+        }
+        if (delivered) {
+          ++result.messages_delivered;
+          if (options_.trace != nullptr) options_.trace->record(*delivered);
+        }
+      }
+      if (delivered) {
+        const auto it = index.find(delivered->to);
+        DA_EXPECTS(it != index.end());
+        mailboxes[it->second]->deposit(round, *delivered);
+      }
+    }
+  };
+
+  const auto node_main = [&](sim::Process& proc) {
+    try {
+      const NodeId self = proc.id();
+      const bool faulty = sim::is_faulty(options_, self);
+      const std::size_t my_index = index.at(self);
+
+      // Round-0 send phase.
+      dispatch(proc.start(), self, 0, /*fabricated=*/false, faulty);
+      if (faulty) {
+        std::vector<sim::Message> extra;
+        {
+          const std::lock_guard<std::mutex> lock(shared_mutex);
+          extra = options_.adversary->fabricate(self, 0);
+        }
+        dispatch(std::move(extra), self, 0, /*fabricated=*/true, faulty);
+      }
+      barrier.arrive_and_wait();
+
+      for (int r = 0; r < rounds; ++r) {
+        const std::vector<sim::Message> inbox = mailboxes[my_index]->drain(r);
+        std::vector<sim::Message> outbox = proc.on_round(r, inbox);
+        if (r + 1 < rounds) {
+          dispatch(std::move(outbox), self, r + 1, /*fabricated=*/false,
+                   faulty);
+          if (faulty) {
+            std::vector<sim::Message> extra;
+            {
+              const std::lock_guard<std::mutex> lock(shared_mutex);
+              extra = options_.adversary->fabricate(self, r + 1);
+            }
+            dispatch(std::move(extra), self, r + 1, /*fabricated=*/true,
+                     faulty);
+          }
+        }
+        barrier.arrive_and_wait();
+      }
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Keep the barrier protocol alive so sibling threads do not hang:
+      // this thread has already arrived an unknown number of times, so the
+      // only safe option is to drop out of the barrier entirely.
+      barrier.arrive_and_drop();
+    }
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(n);
+    for (const auto& p : processes_) {
+      threads.emplace_back([&node_main, &p] { node_main(*p); });
+    }
+  }  // join
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (const auto& p : processes_) result.decisions[p->id()] = p->decide();
+  return result;
+}
+
+}  // namespace da::rt

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "sim/runner.hpp"
+
+namespace da::rt {
+
+/// Thread-per-node executor with the same observable semantics as
+/// `sim::SyncRunner`.
+///
+/// Each node runs on its own `std::jthread`; rounds are separated by a
+/// `std::barrier`, so every thread finishes depositing its round-r messages
+/// before any thread reads its round-r inbox — exactly the synchronous-round
+/// discipline the paper's proofs assume ("the clocks on all the fault-free
+/// nodes are synchronized", Section 2; the barrier *is* our synchronized
+/// clock).
+///
+/// Determinism: the adversary and network model are shared across threads;
+/// a mutex serializes calls into them, and all stochastic behaviour in the
+/// provided adversaries/networks is a pure function of the message identity
+/// (never of call order), so the threaded runtime decides exactly what the
+/// deterministic simulator decides.
+class ThreadedRunner {
+ public:
+  ThreadedRunner(std::vector<std::unique_ptr<sim::Process>> processes,
+                 sim::RunOptions options);
+
+  [[nodiscard]] sim::RunResult run();
+
+ private:
+  std::vector<std::unique_ptr<sim::Process>> processes_;
+  sim::RunOptions options_;
+};
+
+}  // namespace da::rt

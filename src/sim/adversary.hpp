@@ -1,0 +1,57 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace da::sim {
+
+/// A Byzantine adversary controls every faulty node at once (collusion is
+/// the worst case and subsumes independent faults).
+///
+/// The runner passes each outgoing message of a faulty node through
+/// `corrupt`; the adversary may rewrite the value, or return nullopt to
+/// suppress the message (which fault-free receivers observe as an absent
+/// message, i.e. the default value V_d — assumption (b) of Section 4).
+///
+/// Receivers validate message structure (correct round, well-formed path,
+/// matching `from`), so an adversary forging *metadata* is equivalent to one
+/// omitting the message; forging the *value* is the full Byzantine power for
+/// the protocols studied here. `fabricate` additionally lets an adversary
+/// send messages a correct node never would (e.g. a faulty node "echoing" a
+/// value it never received); fabricated messages are validated by receivers
+/// like any others.
+///
+/// Implementations must derive all randomness from the message identity
+/// (via `da::mix64`), never from call order: both runtimes must observe
+/// identical behaviour.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Transform an outgoing message of a faulty node. nullopt = omit.
+  [[nodiscard]] virtual std::optional<Message> corrupt(
+      const Message& original) = 0;
+
+  /// Extra messages the faulty `node` injects in round `round` (these are
+  /// in addition to — not instead of — its protocol sends).
+  [[nodiscard]] virtual std::vector<Message> fabricate(NodeId node,
+                                                       int round) {
+    (void)node;
+    (void)round;
+    return {};
+  }
+};
+
+/// The identity adversary: faulty nodes follow the protocol. Useful as a
+/// control and for "crashed but honest" baselines.
+class HonestAdversary final : public Adversary {
+ public:
+  [[nodiscard]] std::optional<Message> corrupt(
+      const Message& original) override {
+    return original;
+  }
+};
+
+}  // namespace da::sim

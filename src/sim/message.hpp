@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/ids.hpp"
+#include "util/path.hpp"
+#include "util/value.hpp"
+
+namespace da::sim {
+
+/// A point-to-point message. All protocols in this repository are
+/// synchronous-round protocols: a message produced in round r is delivered
+/// at the start of round r (the runner enforces the discipline).
+///
+/// `path` is the relay chain used by EIG protocols (BYZ / OM / IC); for
+/// other payloads (clock readings, channel outputs) it is empty and `aux`
+/// carries auxiliary data.
+struct Message {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  int round = 0;
+  Path path{};
+  Value value{};
+  std::int64_t aux = 0;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace da::sim

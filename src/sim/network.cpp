@@ -1,0 +1,17 @@
+#include "sim/network.hpp"
+
+#include "util/rng.hpp"
+
+namespace da::sim {
+
+bool FalseTimeoutNetwork::deliver(const Message& msg) {
+  if (!active_ || drop_prob_ <= 0.0) return true;
+  std::uint64_t h = mix64(seed_, static_cast<std::uint64_t>(msg.from));
+  h = mix64(h, static_cast<std::uint64_t>(msg.to));
+  h = mix64(h, static_cast<std::uint64_t>(msg.round));
+  h = mix64(h, msg.path.hash());
+  const double x = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return x >= drop_prob_;
+}
+
+}  // namespace da::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "sim/message.hpp"
+
+namespace da::sim {
+
+/// Models the link layer between two fault-free endpoints (adversaries
+/// handle faulty senders separately). `deliver` returning false means the
+/// receiver observes an absent message.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+  [[nodiscard]] virtual bool deliver(const Message& msg) = 0;
+
+  /// Generalization for networks that *alter* messages in transit (e.g.
+  /// multi-hop relay channels over a sparse graph, where faulty interior
+  /// nodes may corrupt a copy and the receiver votes over the path copies).
+  /// Default: all-or-nothing delivery with content intact.
+  [[nodiscard]] virtual std::optional<Message> transit(const Message& msg) {
+    return deliver(msg) ? std::optional<Message>(msg) : std::nullopt;
+  }
+};
+
+/// Assumption (a)/(b) of Section 4: all messages delivered, absence
+/// detectable. The baseline network.
+class ReliableNetwork final : public NetworkModel {
+ public:
+  [[nodiscard]] bool deliver(const Message&) override { return true; }
+};
+
+/// Section 6.1 relaxation: when more than m nodes are faulty, clock
+/// synchronization can no longer be guaranteed, so a fault-free node "may
+/// incorrectly declare a message from another fault-free node to be absent
+/// (due to time-outs)". We model that as an i.i.d. drop with probability
+/// `drop_prob` on fault-free->fault-free messages, enabled only when the
+/// scenario's fault count exceeds m (set via `set_active`).
+///
+/// Drops are a pure function of (seed, from, to, round, path) so the
+/// deterministic and threaded runtimes observe identical behaviour.
+class FalseTimeoutNetwork final : public NetworkModel {
+ public:
+  FalseTimeoutNetwork(double drop_prob, std::uint64_t seed)
+      : drop_prob_(drop_prob), seed_(seed) {}
+
+  void set_active(bool active) { active_ = active; }
+
+  [[nodiscard]] bool deliver(const Message& msg) override;
+
+ private:
+  double drop_prob_;
+  std::uint64_t seed_;
+  bool active_ = false;
+};
+
+/// Restricts communication to the edges of a graph: messages between
+/// non-adjacent nodes are never delivered. Used by the connectivity
+/// experiments (Theorem 3).
+class TopologyNetwork final : public NetworkModel {
+ public:
+  explicit TopologyNetwork(graph::Graph g) : graph_(std::move(g)) {}
+
+  [[nodiscard]] bool deliver(const Message& msg) override {
+    return graph_.has_edge(msg.from, msg.to);
+  }
+
+  [[nodiscard]] const graph::Graph& graph() const { return graph_; }
+
+ private:
+  graph::Graph graph_;
+};
+
+}  // namespace da::sim

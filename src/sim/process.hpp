@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/message.hpp"
+#include "util/ids.hpp"
+#include "util/value.hpp"
+
+namespace da::sim {
+
+/// Per-node protocol logic, written once and executed by either runtime
+/// (the deterministic `SyncRunner` or the thread-per-node `ThreadedRunner`).
+///
+/// Lifecycle driven by a runner:
+///   1. `start()` is called once; returned messages are the node's round-0
+///      sends.
+///   2. For r = 0..total_rounds()-1, `on_round(r, inbox)` receives exactly
+///      the messages addressed to this node that were sent in round r (after
+///      adversary corruption and network filtering) and returns the node's
+///      round r+1 sends. Messages returned from the final round are
+///      discarded.
+///   3. `decide()` is queried after the final round.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] virtual NodeId id() const = 0;
+
+  /// Number of communication rounds this protocol needs.
+  [[nodiscard]] virtual int total_rounds() const = 0;
+
+  /// Round-0 sends.
+  [[nodiscard]] virtual std::vector<Message> start() = 0;
+
+  /// Handle the messages delivered in round `round`; return round+1 sends.
+  [[nodiscard]] virtual std::vector<Message> on_round(
+      int round, const std::vector<Message>& inbox) = 0;
+
+  /// The node's decision after the final round.
+  [[nodiscard]] virtual Value decide() const = 0;
+
+ protected:
+  Process() = default;
+};
+
+}  // namespace da::sim

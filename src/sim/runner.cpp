@@ -1,0 +1,122 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace da::sim {
+
+bool is_faulty(const RunOptions& options, NodeId id) {
+  return std::find(options.faulty.begin(), options.faulty.end(), id) !=
+         options.faulty.end();
+}
+
+std::optional<Message> filter_message(const Message& msg,
+                                      const RunOptions& options,
+                                      bool from_is_faulty) {
+  std::optional<Message> out = msg;
+  if (from_is_faulty) {
+    DA_EXPECTS(options.adversary != nullptr);
+    out = options.adversary->corrupt(msg);
+    if (!out) return std::nullopt;
+    // The adversary may rewrite content but not impersonate other nodes or
+    // time-travel: receivers would reject those, so normalize here.
+    out->from = msg.from;
+    out->to = msg.to;
+    out->round = msg.round;
+  }
+  if (options.network != nullptr) {
+    return options.network->transit(*out);
+  }
+  return out;
+}
+
+void sort_inbox(std::vector<Message>& inbox) {
+  // Total order: a fabricating adversary may inject duplicates of a
+  // (from, path) slot with different contents, and both runtimes must
+  // present them to the process in the same order.
+  std::sort(inbox.begin(), inbox.end(),
+            [](const Message& a, const Message& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (!(a.path == b.path)) return a.path < b.path;
+              if (a.value != b.value) return a.value < b.value;
+              return a.aux < b.aux;
+            });
+}
+
+SyncRunner::SyncRunner(std::vector<std::unique_ptr<Process>> processes,
+                       RunOptions options)
+    : processes_(std::move(processes)), options_(std::move(options)) {
+  DA_EXPECTS(!processes_.empty());
+  DA_EXPECTS(options_.faulty.empty() || options_.adversary != nullptr);
+  for (NodeId f : options_.faulty) {
+    const bool known = std::any_of(
+        processes_.begin(), processes_.end(),
+        [f](const auto& p) { return p->id() == f; });
+    DA_EXPECTS(known);
+  }
+}
+
+RunResult SyncRunner::run() {
+  const int rounds = processes_[0]->total_rounds();
+  for (const auto& p : processes_) DA_EXPECTS(p->total_rounds() == rounds);
+
+  RunResult result;
+  result.rounds = rounds;
+
+  // inflight[to] = messages to deliver in the current round.
+  std::map<NodeId, std::vector<Message>> inflight;
+
+  const auto dispatch = [&](std::vector<Message>&& outbox, NodeId from,
+                            int round, bool fabricated) {
+    const bool faulty = is_faulty(options_, from);
+    for (Message& msg : outbox) {
+      DA_EXPECTS(msg.from == from);
+      msg.round = round;
+      ++result.messages_sent;
+      // Fabricated messages already carry adversarial content; they skip
+      // corrupt() but still traverse the network model.
+      std::optional<Message> delivered =
+          fabricated ? (options_.network == nullptr
+                            ? std::optional<Message>(msg)
+                            : options_.network->transit(msg))
+                     : filter_message(msg, options_, faulty);
+      if (delivered) {
+        ++result.messages_delivered;
+        if (options_.trace != nullptr) options_.trace->record(*delivered);
+        inflight[delivered->to].push_back(*delivered);
+      }
+    }
+  };
+
+  // Round-0 sends.
+  for (const auto& p : processes_) {
+    dispatch(p->start(), p->id(), 0, /*fabricated=*/false);
+    if (is_faulty(options_, p->id())) {
+      dispatch(options_.adversary->fabricate(p->id(), 0), p->id(), 0,
+               /*fabricated=*/true);
+    }
+  }
+
+  for (int r = 0; r < rounds; ++r) {
+    std::map<NodeId, std::vector<Message>> delivered;
+    delivered.swap(inflight);
+    for (const auto& p : processes_) {
+      std::vector<Message>& inbox = delivered[p->id()];
+      sort_inbox(inbox);
+      std::vector<Message> outbox = p->on_round(r, inbox);
+      if (r + 1 < rounds) {
+        dispatch(std::move(outbox), p->id(), r + 1, /*fabricated=*/false);
+        if (is_faulty(options_, p->id())) {
+          dispatch(options_.adversary->fabricate(p->id(), r + 1), p->id(),
+                   r + 1, /*fabricated=*/true);
+        }
+      }
+    }
+  }
+
+  for (const auto& p : processes_) result.decisions[p->id()] = p->decide();
+  return result;
+}
+
+}  // namespace da::sim

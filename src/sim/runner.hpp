@@ -1,0 +1,66 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/adversary.hpp"
+#include "sim/network.hpp"
+#include "sim/process.hpp"
+#include "sim/trace.hpp"
+#include "util/ids.hpp"
+
+namespace da::sim {
+
+/// Everything a runner needs besides the processes themselves.
+struct RunOptions {
+  /// Ids of Byzantine nodes. Must be process ids.
+  std::vector<NodeId> faulty{};
+  /// Controls all faulty nodes. May be null iff `faulty` is empty.
+  Adversary* adversary = nullptr;
+  /// Link model; null means reliable delivery.
+  NetworkModel* network = nullptr;
+  /// Optional transcript capture (delivered messages per receiver).
+  Trace* trace = nullptr;
+};
+
+/// Outcome of one protocol execution.
+struct RunResult {
+  /// Every node's decision (including the sender's, which for fault-free
+  /// senders is its own value by construction of the protocols).
+  std::map<NodeId, Value> decisions;
+  std::size_t messages_sent = 0;
+  std::size_t messages_delivered = 0;
+  int rounds = 0;
+};
+
+/// Deterministic, single-threaded synchronous-round executor. Rounds are
+/// global: all messages produced in round r are delivered together at the
+/// start of processing for round r, in a canonical order (sender id, then
+/// relay path), so executions are exactly reproducible.
+class SyncRunner {
+ public:
+  SyncRunner(std::vector<std::unique_ptr<Process>> processes,
+             RunOptions options);
+
+  [[nodiscard]] RunResult run();
+
+ private:
+  std::vector<std::unique_ptr<Process>> processes_;
+  RunOptions options_;
+};
+
+/// Shared by both runtimes: pass one outgoing message through the adversary
+/// (if `from` is faulty) and the network model. Returns the possibly
+/// rewritten message, or nullopt if it is suppressed/dropped.
+[[nodiscard]] std::optional<Message> filter_message(const Message& msg,
+                                                    const RunOptions& options,
+                                                    bool from_is_faulty);
+
+/// True if `id` is in `options.faulty`.
+[[nodiscard]] bool is_faulty(const RunOptions& options, NodeId id);
+
+/// Canonical inbox order used by both runtimes.
+void sort_inbox(std::vector<Message>& inbox);
+
+}  // namespace da::sim

@@ -1,0 +1,42 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace da::sim {
+
+const std::vector<Message> Trace::kEmpty{};
+
+void Trace::record(const Message& msg) { by_node_[msg.to].push_back(msg); }
+
+std::string Trace::transcript(NodeId node) const {
+  auto msgs = received(node);
+  std::sort(msgs.begin(), msgs.end(),
+            [](const Message& a, const Message& b) {
+              if (a.round != b.round) return a.round < b.round;
+              if (a.from != b.from) return a.from < b.from;
+              return a.path < b.path;
+            });
+  std::string out;
+  for (const Message& m : msgs) {
+    out += m.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+const std::vector<Message>& Trace::received(NodeId node) const {
+  const auto it = by_node_.find(node);
+  return it == by_node_.end() ? kEmpty : it->second;
+}
+
+bool Trace::indistinguishable_for(NodeId node, const Trace& other) const {
+  return transcript(node) == other.transcript(node);
+}
+
+std::size_t Trace::total_messages() const {
+  std::size_t total = 0;
+  for (const auto& [node, msgs] : by_node_) total += msgs.size();
+  return total;
+}
+
+}  // namespace da::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "util/ids.hpp"
+
+namespace da::sim {
+
+/// Records the full sequence of messages each node received, in a canonical
+/// order. The Figure 2 / Theorem 2 demonstration uses traces to show
+/// *indistinguishability*: a fault-free node's trace is byte-identical in
+/// two different fault scenarios, so its decision must be identical too.
+class Trace {
+ public:
+  void record(const Message& msg);
+
+  /// Canonical per-node transcript: messages sorted by (round, from, path).
+  [[nodiscard]] std::string transcript(NodeId node) const;
+
+  [[nodiscard]] const std::vector<Message>& received(NodeId node) const;
+
+  /// True if `node` received byte-identical transcripts in `*this` and
+  /// `other`.
+  [[nodiscard]] bool indistinguishable_for(NodeId node,
+                                           const Trace& other) const;
+
+  [[nodiscard]] std::size_t total_messages() const;
+
+ private:
+  std::map<NodeId, std::vector<Message>> by_node_;
+  static const std::vector<Message> kEmpty;
+};
+
+}  // namespace da::sim

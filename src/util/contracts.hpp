@@ -1,0 +1,31 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace da::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* cond,
+                                          const char* file, int line) {
+  throw std::logic_error(std::string(kind) + " violated: " + cond + " at " +
+                         file + ":" + std::to_string(line));
+}
+
+}  // namespace da::detail
+
+/// Precondition check. Throws std::logic_error on violation. These guard
+/// API boundaries (configuration time), not hot loops.
+#define DA_EXPECTS(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::da::detail::contract_failure("precondition", #cond, __FILE__,      \
+                                     __LINE__);                            \
+  } while (false)
+
+/// Postcondition / internal invariant check.
+#define DA_ENSURES(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::da::detail::contract_failure("invariant", #cond, __FILE__,         \
+                                     __LINE__);                            \
+  } while (false)

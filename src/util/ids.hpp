@@ -1,0 +1,13 @@
+#pragma once
+
+#include <cstdint>
+
+namespace da {
+
+/// Identifier of a node (sender or receiver). Nodes are numbered 0..N-1.
+using NodeId = std::int32_t;
+
+/// Sentinel meaning "no node".
+inline constexpr NodeId kNoNode = -1;
+
+}  // namespace da

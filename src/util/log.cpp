@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace da {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_out_mutex;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kInfo:  return "[info ] ";
+    case LogLevel::kWarn:  return "[warn ] ";
+    case LogLevel::kError: return "[error] ";
+    default:               return "";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  const std::lock_guard<std::mutex> lock(g_out_mutex);
+  std::fputs(prefix(level), stderr);
+  std::fputs(msg.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+}  // namespace detail
+
+}  // namespace da

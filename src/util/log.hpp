@@ -1,0 +1,45 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace da {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold. Defaults to kWarn so library users see problems but
+/// benches/tests stay quiet. Not synchronized: set it once at startup.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+/// Stream-style logger: DA_LOG(kInfo) << "n=" << n;
+/// Message is emitted (with a level prefix, atomically per line) when the
+/// temporary dies at the end of the full expression.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { detail::log_line(level_, out_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace da
+
+#define DA_LOG(lvl)                                      \
+  if (::da::LogLevel::lvl < ::da::log_level()) {         \
+  } else                                                 \
+    ::da::LogStream(::da::LogLevel::lvl)

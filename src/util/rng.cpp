@@ -1,0 +1,74 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace da {
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // Seed the four lanes with SplitMix64 per the xoshiro authors' advice.
+  std::uint64_t x = seed;
+  for (auto& lane : s_) {
+    x += 0x9e3779b97f4a7c15ULL;
+    lane = mix64(x);
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  DA_EXPECTS(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  DA_EXPECTS(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit span
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<int> Rng::subset(int n, int k) {
+  DA_EXPECTS(0 <= k && k <= n);
+  // Floyd's algorithm.
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (int j = n - k; j < n; ++j) {
+    const int t = static_cast<int>(below(static_cast<std::uint64_t>(j) + 1));
+    if (std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    } else {
+      out.push_back(j);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace da

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace da {
+
+/// Mix a 64-bit value (SplitMix64 finalizer). Used to derive decision seeds
+/// from (seed, from, to, round, ...) tuples so that adversary and network
+/// behaviour is a pure function of the message identity — identical in the
+/// deterministic simulator and the threaded runtime regardless of thread
+/// interleaving.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit values into one (order-dependent).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a,
+                                            std::uint64_t b) noexcept {
+  return mix64(a ^ (0x9e3779b97f4a7c15ULL + (b << 1)));
+}
+
+/// Deterministic xoshiro256** PRNG. Self-contained so results are
+/// reproducible across standard libraries and platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next() noexcept;
+
+  /// Uniform in [0, bound). Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Uniform double in [0,1).
+  double uniform() noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  /// A uniformly random k-subset of {0,...,n-1}, in increasing order.
+  std::vector<int> subset(int n, int k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace da

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace da {
+
+/// A minimal ASCII table printer used by the bench harness to print the
+/// paper's tables (minimum node counts, outcome classifications, ...) in a
+/// readable row/column format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format anything streamable into cells.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    add_row({cell_to_string(cells)...});
+  }
+
+  /// Render as an aligned ASCII table, with a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Print to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string cell_to_string(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace da

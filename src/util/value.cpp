@@ -1,0 +1,10 @@
+#include "util/value.hpp"
+
+namespace da {
+
+std::string Value::to_string() const {
+  if (default_) return "V_d";
+  return std::to_string(raw_);
+}
+
+}  // namespace da

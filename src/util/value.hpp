@@ -1,0 +1,59 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace da {
+
+/// A protocol value.
+///
+/// The paper's model has ordinary values plus one distinguished *default
+/// value* `V_d` which is "distinguishable from all other values" (Section 2).
+/// We model that as a tagged 64-bit integer: `Value::of(x)` is an ordinary
+/// value and `Value::def()` is `V_d`. `Value::of(x) != Value::def()` for
+/// every `x`, including `x == 0`.
+class Value {
+ public:
+  /// Default-constructed value is `V_d`.
+  constexpr Value() noexcept = default;
+
+  /// The distinguished default value `V_d`.
+  [[nodiscard]] static constexpr Value def() noexcept { return Value{}; }
+
+  /// An ordinary (non-default) value carrying `raw`.
+  [[nodiscard]] static constexpr Value of(std::int64_t raw) noexcept {
+    return Value(raw, /*is_default=*/false);
+  }
+
+  [[nodiscard]] constexpr bool is_default() const noexcept {
+    return default_;
+  }
+
+  /// Payload of an ordinary value. Meaningless for `V_d` (returns 0).
+  [[nodiscard]] constexpr std::int64_t raw() const noexcept { return raw_; }
+
+  friend constexpr bool operator==(Value, Value) noexcept = default;
+  friend constexpr auto operator<=>(Value, Value) noexcept = default;
+
+  /// "V_d" for the default value, decimal payload otherwise.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr Value(std::int64_t raw, bool is_default) noexcept
+      : raw_(raw), default_(is_default) {}
+
+  std::int64_t raw_ = 0;
+  bool default_ = true;
+};
+
+}  // namespace da
+
+template <>
+struct std::hash<da::Value> {
+  std::size_t operator()(const da::Value& v) const noexcept {
+    const auto h = std::hash<std::int64_t>{}(v.raw());
+    return v.is_default() ? ~h : h;
+  }
+};

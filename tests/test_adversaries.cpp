@@ -1,0 +1,143 @@
+#include "faults/adversaries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faults/scripted.hpp"
+
+namespace da::faults {
+namespace {
+
+sim::Message msg(NodeId from, NodeId to, int round, Value v,
+                 Path path = {}) {
+  return sim::Message{
+      .from = from, .to = to, .round = round, .path = path, .value = v};
+}
+
+TEST(Adversaries, HonestPassesThrough) {
+  auto adv = honest();
+  const auto m = msg(1, 2, 0, Value::of(5));
+  const auto out = adv->corrupt(m);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, m);
+}
+
+TEST(Adversaries, SilentDropsEverything) {
+  auto adv = silent();
+  EXPECT_FALSE(adv->corrupt(msg(1, 2, 0, Value::of(5))).has_value());
+  EXPECT_FALSE(adv->corrupt(msg(3, 0, 2, Value::def())).has_value());
+}
+
+TEST(Adversaries, ConstantLiarRewritesValueOnly) {
+  auto adv = constant_liar(Value::of(9));
+  const auto out = adv->corrupt(msg(1, 2, 0, Value::of(5)));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->value, Value::of(9));
+  EXPECT_EQ(out->from, 1);
+  EXPECT_EQ(out->to, 2);
+}
+
+TEST(Adversaries, DefaultSpammerSendsVd) {
+  auto adv = default_spammer();
+  EXPECT_TRUE(adv->corrupt(msg(1, 2, 0, Value::of(5)))->value.is_default());
+}
+
+TEST(Adversaries, EquivocatorSplitsByParity) {
+  auto adv = equivocator(Value::of(1), Value::of(2));
+  EXPECT_EQ(adv->corrupt(msg(0, 2, 0, Value::of(5)))->value, Value::of(1));
+  EXPECT_EQ(adv->corrupt(msg(0, 3, 0, Value::of(5)))->value, Value::of(2));
+}
+
+TEST(Adversaries, PivotEquivocatorSplitsAtPivot) {
+  auto adv = pivot_equivocator(Value::of(1), Value::of(2), 3);
+  EXPECT_EQ(adv->corrupt(msg(0, 2, 0, Value::of(5)))->value, Value::of(1));
+  EXPECT_EQ(adv->corrupt(msg(0, 3, 0, Value::of(5)))->value, Value::of(2));
+  EXPECT_EQ(adv->corrupt(msg(0, 4, 0, Value::of(5)))->value, Value::of(2));
+}
+
+TEST(Adversaries, CrashAfterRound) {
+  auto adv = crash_after(1);
+  EXPECT_TRUE(adv->corrupt(msg(0, 1, 0, Value::of(5))).has_value());
+  EXPECT_TRUE(adv->corrupt(msg(0, 1, 1, Value::of(5))).has_value());
+  EXPECT_FALSE(adv->corrupt(msg(0, 1, 2, Value::of(5))).has_value());
+}
+
+TEST(Adversaries, RandomNoiseIsMessageDeterministic) {
+  auto a = random_noise(7, 0, 100, 0.3);
+  auto b = random_noise(7, 0, 100, 0.3);
+  for (int to = 0; to < 50; ++to) {
+    const auto m = msg(0, to, 1, Value::of(5), Path{0, 3});
+    const auto ra = a->corrupt(m);
+    // Call b in a *different* order: results must still match.
+    const auto rb = b->corrupt(m);
+    EXPECT_EQ(ra.has_value(), rb.has_value());
+    if (ra) {
+      EXPECT_EQ(ra->value, rb->value);
+    }
+  }
+}
+
+TEST(Adversaries, RandomNoiseValuesInRange) {
+  auto adv = random_noise(7, 10, 12, 0.0);
+  for (int to = 0; to < 30; ++to) {
+    const auto out = adv->corrupt(msg(0, to, 1, Value::of(5)));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_GE(out->value.raw(), 10);
+    EXPECT_LE(out->value.raw(), 12);
+  }
+}
+
+TEST(Adversaries, TargetedSplitTellsTruthToTargets) {
+  auto adv = targeted_split({1, 3}, Value::of(42));
+  EXPECT_EQ(adv->corrupt(msg(0, 1, 0, Value::of(5)))->value, Value::of(5));
+  EXPECT_EQ(adv->corrupt(msg(0, 2, 0, Value::of(5)))->value, Value::of(42));
+  EXPECT_EQ(adv->corrupt(msg(0, 3, 0, Value::of(5)))->value, Value::of(5));
+}
+
+TEST(Scripted, FirstMatchWins) {
+  auto adv = scripted({
+      Rule{.to = 1, .action = Rule::Action::kReplace, .value = Value::of(7)},
+      Rule{.to = 1, .action = Rule::Action::kOmit},
+      Rule{.action = Rule::Action::kReplace, .value = Value::of(8)},
+  });
+  EXPECT_EQ(adv->corrupt(msg(0, 1, 0, Value::of(5)))->value, Value::of(7));
+  EXPECT_EQ(adv->corrupt(msg(0, 2, 0, Value::of(5)))->value, Value::of(8));
+}
+
+TEST(Scripted, UnmatchedPassesThrough) {
+  auto adv = scripted({
+      Rule{.from = 3, .action = Rule::Action::kOmit},
+  });
+  const auto out = adv->corrupt(msg(0, 1, 0, Value::of(5)));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->value, Value::of(5));
+}
+
+TEST(Scripted, RoundAndFromFilters) {
+  auto adv = scripted({
+      Rule{.from = 2, .round = 1, .action = Rule::Action::kOmit},
+  });
+  EXPECT_TRUE(adv->corrupt(msg(2, 1, 0, Value::of(5))).has_value());
+  EXPECT_FALSE(adv->corrupt(msg(2, 1, 1, Value::of(5))).has_value());
+  EXPECT_TRUE(adv->corrupt(msg(3, 1, 1, Value::of(5))).has_value());
+}
+
+TEST(Scripted, PathPrefixFilter) {
+  auto adv = scripted({
+      Rule{.path_prefix = Path{0, 2},
+           .action = Rule::Action::kReplace,
+           .value = Value::of(9)},
+  });
+  EXPECT_EQ(adv->corrupt(msg(2, 1, 1, Value::of(5), Path{0, 2}))->value,
+            Value::of(9));
+  EXPECT_EQ(adv->corrupt(msg(3, 1, 1, Value::of(5), Path{0, 3}))->value,
+            Value::of(5));
+  // Longer paths with the prefix also match.
+  EXPECT_EQ(adv->corrupt(msg(4, 1, 2, Value::of(5), Path{0, 2, 4}))->value,
+            Value::of(9));
+  // Shorter than the prefix: no match.
+  EXPECT_EQ(adv->corrupt(msg(0, 1, 0, Value::of(5), Path{0}))->value,
+            Value::of(5));
+}
+
+}  // namespace
+}  // namespace da::faults

@@ -1,0 +1,103 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace da::bounds {
+namespace {
+
+TEST(Bounds, MinNodesFormula) {
+  EXPECT_EQ(min_nodes(0, 0), 1);
+  EXPECT_EQ(min_nodes(1, 1), 4);   // classical 3m+1
+  EXPECT_EQ(min_nodes(1, 2), 5);   // the paper's Part I case
+  EXPECT_EQ(min_nodes(2, 2), 7);
+  EXPECT_EQ(min_nodes(1, 4), 7);
+  EXPECT_EQ(min_nodes(0, 6), 7);
+  EXPECT_EQ(min_nodes(3, 5), 12);
+}
+
+TEST(Bounds, MinNodesMatchesLamportWhenDegenerate) {
+  for (int m = 0; m <= 5; ++m) {
+    EXPECT_EQ(min_nodes(m, m), lamport_min_nodes(m));
+  }
+}
+
+TEST(Bounds, MinConnectivityFormula) {
+  EXPECT_EQ(min_connectivity(1, 1), 3);  // classical 2m+1
+  EXPECT_EQ(min_connectivity(1, 2), 4);
+  EXPECT_EQ(min_connectivity(2, 4), 7);
+}
+
+TEST(Bounds, ConnectivityNeverBelowLamport) {
+  for (int m = 0; m <= 4; ++m) {
+    for (int u = m; u <= 8; ++u) {
+      EXPECT_GE(min_connectivity(m, u), 2 * m + 1);
+    }
+  }
+}
+
+TEST(Bounds, InvalidArgsRejected) {
+  EXPECT_THROW((void)min_nodes(-1, 0), std::logic_error);
+  EXPECT_THROW((void)min_nodes(2, 1), std::logic_error);  // u < m
+  EXPECT_THROW((void)min_connectivity(1, 0), std::logic_error);
+}
+
+TEST(Bounds, MaxU) {
+  EXPECT_EQ(max_u(7, 0), 6);
+  EXPECT_EQ(max_u(7, 1), 4);
+  EXPECT_EQ(max_u(7, 2), 2);
+  EXPECT_EQ(max_u(7, 3), -1);  // u would be 0 < m
+  EXPECT_EQ(max_u(4, 1), 1);
+}
+
+TEST(Bounds, MaxM) {
+  EXPECT_EQ(max_m(4), 1);
+  EXPECT_EQ(max_m(6), 1);
+  EXPECT_EQ(max_m(7), 2);
+  EXPECT_EQ(max_m(10), 3);
+}
+
+TEST(Bounds, TradeoffFrontierSevenNodes) {
+  // The paper's example: with 7 nodes one may achieve 0/6-, 1/4- or
+  // 2/2-degradable agreement.
+  const auto frontier = tradeoff_frontier(7);
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_EQ(frontier[0].m, 0);
+  EXPECT_EQ(frontier[0].u, 6);
+  EXPECT_EQ(frontier[1].m, 1);
+  EXPECT_EQ(frontier[1].u, 4);
+  EXPECT_EQ(frontier[2].m, 2);
+  EXPECT_EQ(frontier[2].u, 2);
+  for (const Config& c : frontier) {
+    EXPECT_TRUE(c.feasible());
+    EXPECT_EQ(c.n, 7);
+    // The frontier is tight: one more u would need one more node.
+    EXPECT_FALSE((Config{.n = 7, .m = c.m, .u = c.u + 1}.feasible()));
+  }
+}
+
+TEST(Bounds, FrontierTradesTwoUForOneM) {
+  // u = n - 2m - 1: each +1 of m costs 2 of u.
+  const auto frontier = tradeoff_frontier(13);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_EQ(frontier[i].m, frontier[i - 1].m + 1);
+    EXPECT_EQ(frontier[i].u, frontier[i - 1].u - 2);
+  }
+}
+
+TEST(Bounds, ConfigFeasible) {
+  EXPECT_TRUE((Config{.n = 7, .m = 1, .u = 4}.feasible()));
+  EXPECT_FALSE((Config{.n = 6, .m = 1, .u = 4}.feasible()));
+  EXPECT_TRUE((Config{.n = 4, .m = 1, .u = 1}.feasible()));
+  EXPECT_FALSE((Config{.n = 3, .m = 1, .u = 1}.feasible()));
+}
+
+TEST(Bounds, ConfigValid) {
+  EXPECT_TRUE((Config{.n = 4, .m = 1, .u = 2}.valid()));
+  EXPECT_FALSE((Config{.n = 4, .m = 2, .u = 1}.valid()));
+  EXPECT_FALSE((Config{.n = 4, .m = -1, .u = 1}.valid()));
+  EXPECT_FALSE((Config{.n = 4, .m = 1, .u = 4}.valid()));  // u >= n
+  EXPECT_FALSE((Config{.n = 1, .m = 0, .u = 0}.valid()));
+}
+
+}  // namespace
+}  // namespace da::bounds

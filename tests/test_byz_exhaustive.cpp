@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "faults/search.hpp"
+
+namespace da {
+namespace {
+
+/// Exhaustive adversarial sweeps. For every feasible configuration in the
+/// table below, `search_violation` runs BYZ(m,m) against every faulty
+/// subset of every size up to u, under the whole standard adversary family,
+/// and must come back empty — the executable counterpart of Theorem 1.
+class ExhaustiveFeasible : public ::testing::TestWithParam<Config> {};
+
+TEST_P(ExhaustiveFeasible, NoViolationExists) {
+  const Config config = GetParam();
+  ASSERT_TRUE(config.feasible());
+  faults::SearchOptions options;
+  options.seed = 11;
+  const auto violation = faults::search_violation(config, options);
+  EXPECT_FALSE(violation.has_value())
+      << violation->spec.to_string() << " broken by " << violation->adversary
+      << ": " << violation->report.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MinimalAndSlack, ExhaustiveFeasible,
+    ::testing::Values(Config{.n = 4, .m = 1, .u = 1},   // Lamport minimal
+                      Config{.n = 5, .m = 1, .u = 2},   // paper's Part I
+                      Config{.n = 6, .m = 1, .u = 3},
+                      Config{.n = 3, .m = 0, .u = 2},
+                      Config{.n = 4, .m = 0, .u = 3},
+                      Config{.n = 7, .m = 2, .u = 2},
+                      Config{.n = 6, .m = 1, .u = 2}),  // one node of slack
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return "n" + std::to_string(info.param.n) + "_m" +
+             std::to_string(info.param.m) + "_u" +
+             std::to_string(info.param.u);
+    });
+
+/// One node below the bound the protocol must break — and the search
+/// demonstrates it constructively (Theorem 2 made executable).
+class ExhaustiveInfeasible : public ::testing::TestWithParam<Config> {};
+
+TEST_P(ExhaustiveInfeasible, ViolationIsFound) {
+  const Config config = GetParam();
+  ASSERT_FALSE(config.feasible());
+  faults::SearchOptions options;
+  options.seed = 11;
+  options.all_senders = true;
+  const auto violation = faults::search_violation(config, options);
+  ASSERT_TRUE(violation.has_value());
+  // The breakage must show up only in degraded mode or exact mode with
+  // f <= u (the search never exceeds u faults).
+  EXPECT_LE(violation->spec.f(), config.u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OneNodeShort, ExhaustiveInfeasible,
+    ::testing::Values(Config{.n = 4, .m = 1, .u = 2},   // the Figure 2 case
+                      Config{.n = 5, .m = 1, .u = 3},
+                      Config{.n = 6, .m = 2, .u = 2}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return "n" + std::to_string(info.param.n) + "_m" +
+             std::to_string(info.param.m) + "_u" +
+             std::to_string(info.param.u);
+    });
+
+TEST(SearchInfra, SubsetEnumerationCountsMatchBinomials) {
+  int count = 0;
+  faults::for_each_subset(6, 3, [&count](const std::vector<NodeId>& s) {
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    ++count;
+  });
+  EXPECT_EQ(count, 20);
+
+  count = 0;
+  faults::for_each_subset(5, 0, [&count](const std::vector<NodeId>& s) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SearchInfra, SearchSpaceSizeIsPositiveAndMonotone) {
+  const Config small{.n = 5, .m = 1, .u = 2};
+  const Config large{.n = 7, .m = 1, .u = 4};
+  faults::SearchOptions options;
+  EXPECT_GT(faults::search_space_size(small, options), 0u);
+  EXPECT_LT(faults::search_space_size(small, options),
+            faults::search_space_size(large, options));
+}
+
+TEST(SearchInfra, RandomTrialsAlsoFindNothingOnFeasibleConfig) {
+  const Config config{.n = 7, .m = 1, .u = 4};
+  faults::SearchOptions options;
+  options.random_trials = 5;
+  options.seed = 3;
+  EXPECT_FALSE(faults::search_violation(config, options).has_value());
+}
+
+}  // namespace
+}  // namespace da

@@ -1,0 +1,131 @@
+#include "clocksync/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clocksync/witness.hpp"
+#include "util/rng.hpp"
+
+namespace da::clocksync {
+namespace {
+
+std::vector<HardwareClock> spread_clocks(int n, double spread,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<HardwareClock> clocks;
+  for (int i = 0; i < n; ++i) {
+    clocks.emplace_back((rng.uniform() * 2 - 1) * spread,
+                        (rng.uniform() * 2 - 1) * 1e-6);
+  }
+  return clocks;
+}
+
+TEST(HardwareClockTest, ReadAndAdjust) {
+  HardwareClock clock(0.5, 0.01);
+  EXPECT_DOUBLE_EQ(clock.read(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(clock.read(10.0), 10.0 * 1.01 + 0.5);
+  clock.adjust(-0.5);
+  EXPECT_DOUBLE_EQ(clock.read(0.0), 0.0);
+}
+
+TEST(ClockEnsemble, SkewOfPerfectClocksIsZero) {
+  std::vector<HardwareClock> clocks(4, HardwareClock(0.0, 0.0));
+  const ClockEnsemble ensemble(clocks, {}, nullptr);
+  EXPECT_DOUBLE_EQ(ensemble.skew(5.0), 0.0);
+}
+
+TEST(ClockEnsemble, SkewMeasuresSpread) {
+  std::vector<HardwareClock> clocks{HardwareClock(0.0, 0.0),
+                                    HardwareClock(0.3, 0.0),
+                                    HardwareClock(-0.2, 0.0)};
+  const ClockEnsemble ensemble(clocks, {}, nullptr);
+  EXPECT_DOUBLE_EQ(ensemble.skew(0.0), 0.5);
+}
+
+TEST(ClockEnsemble, FaultyClockAnswersThroughAdversary) {
+  std::vector<HardwareClock> clocks(3, HardwareClock(0.0, 0.0));
+  const ClockEnsemble ensemble(
+      clocks, {2},
+      [](NodeId reader, NodeId, double) { return reader == 0 ? 10.0 : 20.0; });
+  EXPECT_DOUBLE_EQ(ensemble.read(0, 2, 0.0), 10.0);  // two-faced
+  EXPECT_DOUBLE_EQ(ensemble.read(1, 2, 0.0), 20.0);
+  EXPECT_DOUBLE_EQ(ensemble.read(0, 1, 0.0), 0.0);
+  EXPECT_TRUE(ensemble.is_faulty(2));
+  EXPECT_EQ(ensemble.fault_count(), 1);
+}
+
+TEST(Convergence, FaultFreeClocksConverge) {
+  ClockEnsemble ensemble(spread_clocks(4, 0.01, 1), {}, nullptr);
+  const double before = ensemble.skew(0.0);
+  const double after = cnv_run(ensemble, 0.0, 1.0, 5, 0.05);
+  EXPECT_LT(after, before / 4);
+}
+
+TEST(Convergence, ToleratesFewerThanThirdFaulty) {
+  // n=7, 2 faulty < 7/3: convergence despite two-faced clocks.
+  auto clocks = spread_clocks(7, 0.01, 2);
+  const FaultyReading two_faced = [](NodeId reader, NodeId, double t) {
+    return t + (reader % 2 == 0 ? 0.04 : -0.04);
+  };
+  ClockEnsemble ensemble(clocks, {5, 6}, two_faced);
+  const double after = cnv_run(ensemble, 0.0, 1.0, 8, 0.05);
+  EXPECT_LT(after, 0.04);
+}
+
+TEST(Convergence, DefeatedAtOneThird) {
+  // n=3 with 1 faulty clock (exactly a third): the classical impossibility
+  // region [3,5] — the two-faced clock can keep two fault-free clocks
+  // apart. We only check that convergence is qualitatively worse than the
+  // fault-free case.
+  auto clocks = std::vector<HardwareClock>{HardwareClock(0.02, 0.0),
+                                           HardwareClock(-0.02, 0.0),
+                                           HardwareClock(0.0, 0.0)};
+  const FaultyReading pull_apart = [](NodeId reader, NodeId, double t) {
+    // Tells the fast clock it is slow and the slow clock it is fast.
+    return t + (reader == 0 ? 0.05 : -0.05);
+  };
+  ClockEnsemble ensemble(clocks, {2}, pull_apart);
+  const double after = cnv_run(ensemble, 0.0, 1.0, 8, 0.06);
+  EXPECT_GT(after, 0.02);  // never collapses
+}
+
+TEST(Witness, SyncPossiblePredicate) {
+  WitnessConfig config;
+  config.processors = 4;
+  config.faulty_clocks = 1;
+  config.witness_clocks = 0;
+  EXPECT_TRUE(config.clock_sync_possible());  // 3*1 < 4
+  config.faulty_clocks = 2;
+  EXPECT_FALSE(config.clock_sync_possible());  // 3*2 >= 4+0
+  config.witness_clocks = 3;
+  EXPECT_TRUE(config.clock_sync_possible());  // 3*2 < 7
+}
+
+TEST(Witness, WitnessClocksRestoreSynchronization) {
+  // Section 6.2: 4 processors + 2 faulty clocks is hopeless; adding 3
+  // witness clocks brings the ensemble back under the third.
+  WitnessConfig without;
+  without.processors = 4;
+  without.faulty_clocks = 2;
+  without.witness_clocks = 0;
+  const WitnessResult r1 = run_witness_experiment(without, 6, 0.01);
+  EXPECT_FALSE(r1.sync_possible);
+
+  WitnessConfig with = without;
+  with.witness_clocks = 3;
+  const WitnessResult r2 = run_witness_experiment(with, 6, 0.01);
+  EXPECT_TRUE(r2.sync_possible);
+  // Two-faced clocks bound the achievable precision at roughly
+  // 2*f*window/n; with f=2, n=7, window=0.01 that stays under the window.
+  EXPECT_LT(r2.final_skew, 0.01);
+}
+
+TEST(Witness, CleanEnsembleConverges) {
+  WitnessConfig config;
+  config.processors = 5;
+  const WitnessResult r = run_witness_experiment(config, 5, 0.01);
+  EXPECT_TRUE(r.sync_possible);
+  EXPECT_LT(r.final_skew, r.initial_skew);
+}
+
+}  // namespace
+}  // namespace da::clocksync

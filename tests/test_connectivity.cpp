@@ -1,0 +1,123 @@
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/topology.hpp"
+
+namespace da::graph {
+namespace {
+
+TEST(Connectivity, CompleteGraph) {
+  EXPECT_EQ(vertex_connectivity(complete(4)), 3);
+  EXPECT_EQ(vertex_connectivity(complete(7)), 6);
+}
+
+TEST(Connectivity, Ring) {
+  EXPECT_EQ(vertex_connectivity(ring(5)), 2);
+  EXPECT_EQ(vertex_connectivity(ring(9)), 2);
+}
+
+TEST(Connectivity, Hypercube) {
+  EXPECT_EQ(vertex_connectivity(hypercube(2)), 2);
+  EXPECT_EQ(vertex_connectivity(hypercube(3)), 3);
+  EXPECT_EQ(vertex_connectivity(hypercube(4)), 4);
+}
+
+TEST(Connectivity, Circulant) {
+  EXPECT_EQ(vertex_connectivity(circulant(9, 2)), 4);
+  EXPECT_EQ(vertex_connectivity(circulant(11, 3)), 6);
+}
+
+TEST(Connectivity, SeparatorGraphHasExactCut) {
+  for (int cut = 1; cut <= 4; ++cut) {
+    EXPECT_EQ(vertex_connectivity(separator_graph(3, cut, 3)), cut)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Connectivity, DisconnectedIsZero) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_EQ(vertex_connectivity(g), 0);
+}
+
+TEST(Connectivity, PathGraphIsOne) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_EQ(vertex_connectivity(g), 1);
+}
+
+TEST(DisjointPaths, CountMatchesMenger) {
+  const Graph g = separator_graph(3, 2, 3);
+  // Across the separator: exactly 2 disjoint paths.
+  EXPECT_EQ(max_disjoint_paths(g, 0, 7), 2);
+  // Within a clique: short-circuit plus detours.
+  EXPECT_GE(max_disjoint_paths(g, 0, 1), 2);
+}
+
+TEST(DisjointPaths, AdjacentPairCountsDirectEdge) {
+  const Graph g = complete(5);
+  EXPECT_EQ(max_disjoint_paths(g, 0, 1), 4);  // direct + 3 two-hop
+}
+
+TEST(DisjointPaths, ExtractedPathsAreValidAndDisjoint) {
+  const Graph g = circulant(9, 2);
+  const auto paths = disjoint_paths(g, 0, 4, 4);
+  ASSERT_EQ(paths.size(), 4u);
+  std::set<NodeId> interior;
+  for (const auto& path : paths) {
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), 0);
+    EXPECT_EQ(path.back(), 4);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(path[i], path[i + 1]))
+          << path[i] << "-" << path[i + 1];
+    }
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      // Internal vertex disjointness.
+      EXPECT_TRUE(interior.insert(path[i]).second)
+          << "shared interior node " << path[i];
+    }
+  }
+}
+
+TEST(DisjointPaths, RequestingMoreThanExistReturnsMax) {
+  const Graph g = ring(6);
+  const auto paths = disjoint_paths(g, 0, 3, 10);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(MinVertexCut, SeparatorGraph) {
+  const Graph g = separator_graph(3, 2, 3);
+  const auto cut = min_vertex_cut(g, 0, 7);
+  EXPECT_EQ(cut.size(), 2u);
+  EXPECT_EQ((std::set<NodeId>(cut.begin(), cut.end())),
+            (std::set<NodeId>{3, 4}));
+}
+
+TEST(MinVertexCut, MatchesMaxFlowDuality) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Graph g = random_at_least_k_connected(10, 3, 0.15, seed);
+    for (NodeId t = 5; t < 8; ++t) {
+      if (g.has_edge(0, t)) continue;
+      EXPECT_EQ(static_cast<int>(min_vertex_cut(g, 0, t).size()),
+                max_disjoint_paths(g, 0, t))
+          << "seed=" << seed << " t=" << t;
+    }
+  }
+}
+
+TEST(Connectivity, RandomKConnectedMeetsFloor) {
+  for (std::uint64_t seed : {10ULL, 20ULL, 30ULL}) {
+    const Graph g = random_at_least_k_connected(11, 4, 0.1, seed);
+    EXPECT_GE(vertex_connectivity(g), 4) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace da::graph

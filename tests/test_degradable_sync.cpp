@@ -1,0 +1,137 @@
+#include "clocksync/degradable_sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faults/adversaries.hpp"
+#include "util/rng.hpp"
+
+namespace da::clocksync {
+namespace {
+
+ClockEnsemble make_ensemble(int n, std::vector<NodeId> faulty,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<HardwareClock> clocks;
+  for (int i = 0; i < n; ++i) {
+    clocks.emplace_back((rng.uniform() * 2 - 1) * 1e-4, 0.0);
+  }
+  const FaultyReading wild = [](NodeId reader, NodeId owner, double t) {
+    return t + 0.5 * ((reader + owner) % 3 - 1);  // wildly wrong, two-faced
+  };
+  return ClockEnsemble(std::move(clocks), std::move(faulty), wild);
+}
+
+protocols::ic::AdversaryFactory noisy_adversaries(std::uint64_t seed) {
+  return [seed](NodeId sender) {
+    return faults::random_noise(mix64(seed, static_cast<std::uint64_t>(sender)),
+                                -1000000, 1000000, 0.3);
+  };
+}
+
+TEST(DegradableSync, NoFaultsEveryoneSyncs) {
+  auto ensemble = make_ensemble(7, {}, 1);
+  const DegradableSyncParams params{.m = 1, .u = 4};
+  const auto result = degradable_sync_round(
+      ensemble, 100.0, params, [](NodeId) { return faults::honest(); });
+  EXPECT_TRUE(result.detected.empty());
+  EXPECT_EQ(result.synced.size(), 7u);
+  EXPECT_TRUE(result.conjecture_holds);
+  EXPECT_LT(ensemble.skew(100.0), params.epsilon);
+}
+
+TEST(DegradableSync, WithinMEveryFaultFreeSyncs) {
+  // f = m = 1: exact agreement on every coordinate -> identical vectors ->
+  // identical corrections.
+  auto ensemble = make_ensemble(7, {3}, 2);
+  const DegradableSyncParams params{.m = 1, .u = 4};
+  const auto result =
+      degradable_sync_round(ensemble, 50.0, params, noisy_adversaries(9));
+  EXPECT_TRUE(result.detected.empty());
+  EXPECT_EQ(result.synced.size(), 6u);
+  EXPECT_TRUE(result.conjecture_holds);
+}
+
+TEST(DegradableSync, ConjectureHoldsInDegradedRange) {
+  // m < f <= u: the paper's conjecture — either m+1 synced or m+1 detect.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    auto ensemble = make_ensemble(7, {1, 4, 6}, seed);  // f = 3
+    const DegradableSyncParams params{.m = 1, .u = 4};
+    const auto result = degradable_sync_round(ensemble, 10.0, params,
+                                              noisy_adversaries(seed * 31));
+    EXPECT_TRUE(result.conjecture_holds)
+        << "seed " << seed << ": synced=" << result.synced.size()
+        << " detected=" << result.detected.size();
+  }
+}
+
+TEST(DegradableSync, OmittingAdversaryTriggersDetection) {
+  // An adversary that mostly omits pushes many coordinates to V_d; with
+  // f = 3 > m the fault-free nodes must notice (> m defaults) and detect.
+  auto ensemble = make_ensemble(7, {1, 4, 6}, 5);
+  const DegradableSyncParams params{.m = 1, .u = 4};
+  const auto result = degradable_sync_round(
+      ensemble, 10.0, params, [](NodeId) { return faults::silent(); });
+  EXPECT_GE(static_cast<int>(result.detected.size()), params.m + 1);
+  EXPECT_TRUE(result.conjecture_holds);
+}
+
+TEST(DegradableSync, DetectionIsSoundWithFewFaults) {
+  // f <= m can never produce more than m default coordinates, so no
+  // fault-free node ever *falsely* detects.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto ensemble = make_ensemble(6, {2}, seed);
+    const DegradableSyncParams params{.m = 1, .u = 3};
+    const auto result = degradable_sync_round(
+        ensemble, 20.0, params, [](NodeId) { return faults::silent(); });
+    EXPECT_TRUE(result.detected.empty()) << "seed " << seed;
+  }
+}
+
+TEST(DegradableSync, PeriodicResyncBoundsDrift) {
+  // Fault-free clocks with real drift, resynced every 10s for 8 rounds:
+  // the post-resync skew stays bounded by quantization + drift-per-period,
+  // far below the unsynchronized divergence.
+  Rng rng(77);
+  std::vector<HardwareClock> clocks;
+  for (int i = 0; i < 7; ++i) {
+    clocks.emplace_back((rng.uniform() * 2 - 1) * 1e-4,
+                        (rng.uniform() * 2 - 1) * 1e-5);
+  }
+  ClockEnsemble ensemble(std::move(clocks), {}, nullptr);
+  const DegradableSyncParams params{.m = 1, .u = 4};
+  const auto run = degradable_sync_run(
+      ensemble, 0.0, 10.0, 8, params, [](NodeId) { return faults::honest(); });
+  ASSERT_EQ(run.skew_after.size(), 8u);
+  EXPECT_EQ(run.rounds_conjecture_held, 8);
+  // Unsynchronized, 80s of +-1e-5 drift accumulates up to ~1.6e-3 skew;
+  // resynced, each round resets to ~quantum-level agreement.
+  EXPECT_LT(run.max_skew_after(), 1e-4);
+  for (int count : run.synced_counts) EXPECT_EQ(count, 7);
+}
+
+TEST(DegradableSync, PeriodicResyncUnderPersistentFaults) {
+  auto ensemble = make_ensemble(7, {1, 4, 6}, 31);
+  const DegradableSyncParams params{.m = 1, .u = 4};
+  const auto run = degradable_sync_run(ensemble, 0.0, 10.0, 5, params,
+                                       noisy_adversaries(13));
+  EXPECT_EQ(run.rounds_conjecture_held, 5);
+  for (std::size_t r = 0; r < run.synced_counts.size(); ++r) {
+    EXPECT_TRUE(run.synced_counts[r] >= params.m + 1 ||
+                run.detected_counts[r] >= params.m + 1)
+        << "round " << r;
+  }
+}
+
+TEST(DegradableSync, SyncedSkewWithinEpsilon) {
+  auto ensemble = make_ensemble(7, {2, 5}, 11);
+  const DegradableSyncParams params{.m = 1, .u = 4};
+  const auto result =
+      degradable_sync_round(ensemble, 30.0, params, noisy_adversaries(3));
+  EXPECT_LE(result.synced_skew, params.epsilon);
+  if (result.synced.size() >= 2) {
+    EXPECT_LE(ensemble.skew(30.0, result.synced), params.epsilon + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace da::clocksync

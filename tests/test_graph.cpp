@@ -1,0 +1,125 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/topology.hpp"
+
+namespace da::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(4);
+  EXPECT_EQ(g.n(), 4);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(Graph, AddEdgeSymmetric) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 1);
+  EXPECT_EQ(g.degree(1), 0);
+}
+
+TEST(Graph, AddEdgeIdempotent) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::logic_error);
+}
+
+TEST(Graph, OutOfRangeRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), std::logic_error);
+  EXPECT_THROW((void)g.has_edge(-1, 0), std::logic_error);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_EQ(g.edge_count(), 1u);
+  g.remove_edge(0, 1);  // idempotent
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, ConnectedPathGraph) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.connected());
+  g.remove_edge(1, 2);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(Graph, SingleNodeIsConnected) {
+  EXPECT_TRUE(Graph(1).connected());
+}
+
+TEST(Topology, CompleteGraph) {
+  const Graph g = complete(5);
+  EXPECT_TRUE(g.complete());
+  EXPECT_EQ(g.edge_count(), 10u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(Topology, Ring) {
+  const Graph g = ring(6);
+  EXPECT_EQ(g.edge_count(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Topology, Hypercube) {
+  const Graph g = hypercube(3);
+  EXPECT_EQ(g.n(), 8);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 3);
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Topology, Circulant) {
+  const Graph g = circulant(7, 2);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 4);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Topology, SeparatorGraphStructure) {
+  // 3-clique | 2 separators | 3-clique.
+  const Graph g = separator_graph(3, 2, 3);
+  EXPECT_EQ(g.n(), 8);
+  // Sides are not directly connected.
+  for (NodeId a = 0; a < 3; ++a) {
+    for (NodeId b = 5; b < 8; ++b) EXPECT_FALSE(g.has_edge(a, b));
+  }
+  // Separators reach everyone.
+  EXPECT_EQ(g.degree(3), 7);
+  EXPECT_EQ(g.degree(4), 7);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Topology, RandomAtLeastKConnectedHasMinDegree) {
+  const Graph g = random_at_least_k_connected(12, 4, 0.2, 99);
+  for (NodeId v = 0; v < 12; ++v) EXPECT_GE(g.degree(v), 4);
+}
+
+}  // namespace
+}  // namespace da::graph

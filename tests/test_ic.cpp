@@ -1,0 +1,84 @@
+#include "protocols/ic/interactive_consistency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faults/adversaries.hpp"
+#include "protocols/lamport/om.hpp"
+
+namespace da::protocols::ic {
+namespace {
+
+std::vector<Value> inputs_for(int n) {
+  std::vector<Value> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(Value::of(100 + i));
+  return inputs;
+}
+
+TEST(InteractiveConsistency, NoFaultsVectorsAreInputs) {
+  const int n = 5;
+  const auto inputs = inputs_for(n);
+  const IcResult result = run_interactive_consistency(
+      n, 1, inputs, {}, [](NodeId) { return faults::honest(); });
+  EXPECT_TRUE(interactive_consistency_holds(result, inputs, {}));
+  for (NodeId p = 0; p < n; ++p) {
+    EXPECT_EQ(result.vectors.at(p), inputs);
+  }
+}
+
+TEST(InteractiveConsistency, HoldsWithinClassicalBound) {
+  const int n = 7;
+  const auto inputs = inputs_for(n);
+  const std::vector<NodeId> faulty{2, 5};
+  const IcResult result = run_interactive_consistency(
+      n, 2, inputs, faulty, [](NodeId sender) {
+        return faults::equivocator(Value::of(1), Value::of(2 + sender));
+      });
+  EXPECT_TRUE(interactive_consistency_holds(result, inputs, faulty));
+  EXPECT_EQ(largest_identical_vector_group(result, faulty, n), 5);
+}
+
+TEST(InteractiveConsistency, FaultyCoordinatesStillAgree) {
+  // IC1: even the coordinates of faulty nodes are agreed upon.
+  const int n = 4;
+  const auto inputs = inputs_for(n);
+  const std::vector<NodeId> faulty{3};
+  const IcResult result = run_interactive_consistency(
+      n, 1, inputs, faulty,
+      [](NodeId) { return faults::equivocator(Value::of(7), Value::of(8)); });
+  const auto& ref = result.vectors.at(0);
+  EXPECT_EQ(result.vectors.at(1), ref);
+  EXPECT_EQ(result.vectors.at(2), ref);
+}
+
+TEST(InteractiveConsistency, CollapsesBeyondOneThird) {
+  // Bhandari's observation, executed: with f > N/3 the vectors of
+  // fault-free nodes can disagree arbitrarily — no graceful degradation.
+  const int n = 4;
+  const auto inputs = inputs_for(n);
+  const std::vector<NodeId> faulty{2, 3};
+  const IcResult result = run_interactive_consistency(
+      n, 1, inputs, faulty, [](NodeId sender) {
+        return faults::pivot_equivocator(Value::of(40 + sender),
+                                         Value::of(50 + sender), 1);
+      });
+  EXPECT_FALSE(interactive_consistency_holds(result, inputs, faulty));
+  EXPECT_LT(largest_identical_vector_group(result, faulty, n), 2);
+}
+
+TEST(InteractiveConsistency, MessageCountIsNTimesOm) {
+  const int n = 5;
+  const IcResult result = run_interactive_consistency(
+      n, 1, inputs_for(n), {}, [](NodeId) { return faults::honest(); });
+  EXPECT_EQ(result.messages_sent,
+            static_cast<std::size_t>(n) * lamport::om_message_count(n, 1));
+}
+
+TEST(InteractiveConsistency, InputSizeMismatchRejected) {
+  EXPECT_THROW((void)run_interactive_consistency(
+                   4, 1, inputs_for(3), {},
+                   [](NodeId) { return faults::honest(); }),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace da::protocols::ic

@@ -1,0 +1,95 @@
+#include "channels/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace da::channels {
+namespace {
+
+using Kind = ChannelSystemConfig::Kind;
+
+TEST(Recovery, NoFaultsEveryFrameClean) {
+  const ChannelSystem system({.kind = Kind::kDegradable, .m = 1, .u = 2});
+  RecoveryParams params;
+  params.frames = 20;
+  params.channel_fault_prob = 0.0;
+  const RecoveryStats stats = run_recovery_experiment(system, params);
+  EXPECT_EQ(stats.frames, 20);
+  EXPECT_EQ(stats.fault_free_frames, 20);
+  EXPECT_EQ(stats.unsafe_failures, 0);
+  EXPECT_EQ(stats.safe_frames(), 20);
+}
+
+TEST(Recovery, DegradableSystemStaysSafeUnderHeavyFaults) {
+  // Fault rates high enough that f > m happens regularly: the degradable
+  // system must never emit an unsafe (wrong non-default) vote while
+  // f <= u; with u = channel_count-... here u=2 of 4 channels, so f <= 2
+  // is the common case — and the paper's C.2 keeps it safe.
+  const ChannelSystem system({.kind = Kind::kDegradable, .m = 1, .u = 2});
+  RecoveryParams params;
+  params.frames = 60;
+  params.channel_fault_prob = 0.18;
+  params.max_concurrent_faults = 2;  // keep the f <= u hypothesis true
+  params.seed = 1001;
+  const RecoveryStats stats = run_recovery_experiment(system, params);
+  EXPECT_EQ(stats.frames, 60);
+  EXPECT_EQ(stats.unsafe_failures, 0);
+  EXPECT_GT(stats.forward_recovered, 0);  // single faults were masked
+}
+
+TEST(Recovery, BackwardRecoveryEventuallySucceeds) {
+  const ChannelSystem system({.kind = Kind::kDegradable, .m = 1, .u = 2});
+  RecoveryParams params;
+  params.frames = 80;
+  params.channel_fault_prob = 0.30;  // frequent multi-fault frames
+  params.repair_prob = 0.8;          // transient faults clear quickly
+  params.max_retries = 5;
+  params.max_concurrent_faults = 2;
+  params.seed = 2002;
+  const RecoveryStats stats = run_recovery_experiment(system, params);
+  EXPECT_EQ(stats.unsafe_failures, 0);
+  EXPECT_GT(stats.backward_recovered, 0);
+  EXPECT_EQ(stats.safe_frames(), stats.frames);
+}
+
+TEST(Recovery, ByzantineSystemEventuallyFailsUnsafely) {
+  // The contrast case: the classical majority system emits wrong votes
+  // once f > m frames occur.
+  const ChannelSystem system({.kind = Kind::kByzantineMajority, .m = 1});
+  RecoveryParams params;
+  params.frames = 120;
+  params.channel_fault_prob = 0.30;
+  params.repair_prob = 0.0;  // permanent for the duration of the frame
+  params.max_concurrent_faults = 2;  // same hypothesis as the degradable run
+  params.seed = 3003;
+  const RecoveryStats stats = run_recovery_experiment(system, params);
+  EXPECT_GT(stats.unsafe_failures, 0);
+}
+
+TEST(Recovery, StatsAreConsistent) {
+  const ChannelSystem system({.kind = Kind::kDegradable, .m = 1, .u = 2});
+  RecoveryParams params;
+  params.frames = 40;
+  params.channel_fault_prob = 0.25;
+  params.max_concurrent_faults = 2;
+  params.seed = 4004;
+  const RecoveryStats stats = run_recovery_experiment(system, params);
+  EXPECT_EQ(stats.safe_frames() + stats.unsafe_failures, stats.frames);
+  EXPECT_GE(stats.fault_free_frames, 0);
+  EXPECT_LE(stats.fault_free_frames, stats.frames);
+}
+
+TEST(Recovery, DeterministicForFixedSeed) {
+  const ChannelSystem system({.kind = Kind::kDegradable, .m = 1, .u = 2});
+  RecoveryParams params;
+  params.frames = 30;
+  params.channel_fault_prob = 0.2;
+  params.seed = 5005;
+  const RecoveryStats a = run_recovery_experiment(system, params);
+  const RecoveryStats b = run_recovery_experiment(system, params);
+  EXPECT_EQ(a.forward_recovered, b.forward_recovered);
+  EXPECT_EQ(a.backward_recovered, b.backward_recovered);
+  EXPECT_EQ(a.unsafe_failures, b.unsafe_failures);
+}
+
+}  // namespace
+}  // namespace da::channels

@@ -1,0 +1,137 @@
+#include "relay/disjoint_relay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/topology.hpp"
+#include "relay/cutset_adversary.hpp"
+#include "util/rng.hpp"
+
+namespace da::relay {
+namespace {
+
+const HopCorruption kForgeBeta = [](NodeId, Value) { return Value::of(202); };
+
+TEST(Relay, CleanChannelDeliversExactly) {
+  const auto g = graph::circulant(9, 2);  // connectivity 4 = m+u+1 for 1/2
+  const auto result = degradable_channel_send(g, 0, 4, Value::of(7), 1, 2, {},
+                                              nullptr);
+  EXPECT_EQ(result.delivered, Value::of(7));
+  EXPECT_EQ(result.paths, 4);
+  EXPECT_EQ(result.corrupted_paths, 0);
+}
+
+TEST(Relay, ToleratesUpToMCorruptions) {
+  // m=1, u=2, 4 disjoint paths: one faulty interior node corrupts at most
+  // one copy -> the true value still reaches VOTE(u+1=3, 4).
+  const auto g = graph::circulant(9, 2);
+  const auto paths = graph::disjoint_paths(g, 0, 4, 4);
+  for (const auto& path : paths) {
+    if (path.size() < 3) continue;
+    const NodeId faulty = path[1];
+    const auto result = degradable_channel_send(g, 0, 4, Value::of(7), 1, 2,
+                                                {faulty}, kForgeBeta);
+    EXPECT_EQ(result.delivered, Value::of(7)) << "faulty " << faulty;
+    EXPECT_LE(result.corrupted_paths, 1);
+  }
+}
+
+TEST(Relay, DegradedRangeNeverWrong) {
+  // m < f <= u: delivery is the true value or V_d, never the forgery.
+  const auto g = graph::circulant(9, 2);
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<NodeId> faulty;
+    for (const int x : rng.subset(7, 2)) {
+      faulty.push_back(x + 1);  // interior nodes only (not 0, may hit 4...)
+    }
+    // Node 4 is the receiver; endpoints must be fault-free.
+    if (std::find(faulty.begin(), faulty.end(), 4) != faulty.end()) continue;
+    const auto result = degradable_channel_send(g, 0, 4, Value::of(7), 1, 2,
+                                                faulty, kForgeBeta);
+    EXPECT_TRUE(result.delivered == Value::of(7) ||
+                result.delivered.is_default())
+        << "faulty {" << faulty[0] << "," << faulty[1] << "} got "
+        << result.delivered.to_string();
+  }
+}
+
+TEST(Relay, BeyondUCanBeDefeated) {
+  // u+1 = 3 colluding interior nodes can deliver the forgery: the bound is
+  // tight.
+  const auto g = graph::circulant(9, 2);
+  const auto paths = graph::disjoint_paths(g, 0, 4, 4);
+  std::vector<NodeId> faulty;
+  for (const auto& path : paths) {
+    if (path.size() >= 3) faulty.push_back(path[1]);
+    if (faulty.size() == 3) break;
+  }
+  ASSERT_EQ(faulty.size(), 3u);
+  const auto result = degradable_channel_send(g, 0, 4, Value::of(7), 1, 2,
+                                              faulty, kForgeBeta);
+  EXPECT_EQ(result.delivered, Value::of(202));
+}
+
+TEST(Relay, InsufficientConnectivityRejected) {
+  const auto g = graph::ring(8);  // connectivity 2 < m+u+1 = 4
+  EXPECT_THROW((void)degradable_channel_send(g, 0, 4, Value::of(7), 1, 2, {},
+                                             nullptr),
+               std::logic_error);
+}
+
+TEST(Relay, SendAlongExplicitPaths) {
+  const std::vector<std::vector<NodeId>> paths{
+      {0, 1, 9}, {0, 2, 9}, {0, 3, 9}, {0, 9}};
+  const auto result =
+      send_along_paths(paths, Value::of(5), 2, {2}, kForgeBeta);
+  EXPECT_EQ(result.corrupted_paths, 1);
+  EXPECT_EQ(result.delivered, Value::of(5));  // 3 clean copies >= u+1 = 3
+}
+
+TEST(Relay, CorruptionHookSeesTransitValue) {
+  const std::vector<std::vector<NodeId>> paths{{0, 1, 2, 9}};
+  std::vector<std::pair<NodeId, Value>> observed;
+  const HopCorruption recorder = [&observed](NodeId hop, Value v) {
+    observed.emplace_back(hop, v);
+    return Value::of(v.raw() + 1);
+  };
+  const auto result = send_along_paths(paths, Value::of(10), 0, {1, 2},
+                                       recorder);
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], (std::pair<NodeId, Value>{1, Value::of(10)}));
+  EXPECT_EQ(observed[1], (std::pair<NodeId, Value>{2, Value::of(11)}));
+  EXPECT_EQ(result.copies[0], Value::of(12));
+}
+
+TEST(CutsetLowerBound, NoThresholdWorksAtConnectivityMPlusU) {
+  for (const auto& [m, u] : std::vector<std::pair<int, int>>{
+           {1, 1}, {1, 2}, {2, 2}, {2, 3}, {1, 4}, {3, 4}}) {
+    EXPECT_FALSE(any_threshold_works(m, u, m + u)) << "m=" << m << " u=" << u;
+    const auto probes = probe_thresholds(m, u);
+    for (const auto& probe : probes) {
+      EXPECT_FALSE(probe.s1_ok && probe.s2_ok) << "theta=" << probe.theta;
+    }
+  }
+}
+
+TEST(CutsetLowerBound, ThresholdUPlusOneWorksAtConnectivityMPlusUPlusOne) {
+  for (const auto& [m, u] : std::vector<std::pair<int, int>>{
+           {1, 1}, {1, 2}, {2, 2}, {2, 3}, {1, 4}, {3, 4}}) {
+    EXPECT_TRUE(any_threshold_works(m, u, m + u + 1))
+        << "m=" << m << " u=" << u;
+  }
+}
+
+TEST(CutsetLowerBound, SeparatorGraphRealizesTheScenario) {
+  // Geometry check: the separator graph's cut is exactly m+u and every
+  // s-t path crosses it.
+  const int m = 1;
+  const int u = 2;
+  const auto g = graph::separator_graph(2, m + u, 2);
+  EXPECT_EQ(graph::vertex_connectivity(g), m + u);
+  const auto cut = graph::min_vertex_cut(g, 0, g.n() - 1);
+  EXPECT_EQ(static_cast<int>(cut.size()), m + u);
+}
+
+}  // namespace
+}  // namespace da::relay

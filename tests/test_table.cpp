@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace da {
+namespace {
+
+TEST(Table, HeaderOnly) {
+  const Table t({"a", "bb"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a | bb |"), std::string::npos);
+  EXPECT_NE(s.find("|---|----|"), std::string::npos);
+}
+
+TEST(Table, RowsAligned) {
+  Table t({"m", "u", "N_min"});
+  t.row(1, 2, 5);
+  t.row(10, 20, 41);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| 1  | 2  | 5     |"), std::string::npos);
+  EXPECT_NE(s.find("| 10 | 20 | 41    |"), std::string::npos);
+}
+
+TEST(Table, MixedCellTypes) {
+  Table t({"name", "count"});
+  t.row("alpha", 3);
+  t.row(std::string("beta"), 12);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_NE(t.to_string().find("alpha"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"one", "two"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::logic_error);
+}
+
+TEST(Table, WideCellStretchesColumn) {
+  Table t({"x"});
+  t.row("wider-than-header");
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| wider-than-header |"), std::string::npos);
+  EXPECT_NE(s.find("| x                 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace da

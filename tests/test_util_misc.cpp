@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "core/agreement.hpp"
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace da {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  set_log_level(before);
+}
+
+TEST(Log, SuppressedBelowThreshold) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  DA_LOG(kDebug) << "never shown " << expensive();
+  EXPECT_EQ(evaluations, 0);  // the stream body is short-circuited
+  set_log_level(before);
+}
+
+TEST(Log, EmitsAtOrAboveThreshold) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  // kOff silences even errors — and must not crash.
+  DA_LOG(kError) << "silenced";
+  set_log_level(before);
+}
+
+TEST(Contracts, ExpectsThrowsWithLocation) {
+  try {
+    DA_EXPECTS(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_util_misc.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresThrows) {
+  EXPECT_THROW(DA_ENSURES(false), std::logic_error);
+  EXPECT_NO_THROW(DA_ENSURES(true));
+}
+
+TEST(OutcomeTest, DecisionOfMissingNodeThrows) {
+  Outcome outcome;
+  outcome.decisions[1] = Value::of(3);
+  EXPECT_EQ(outcome.decision_of(1), Value::of(3));
+  EXPECT_THROW((void)outcome.decision_of(2), std::logic_error);
+}
+
+TEST(DegradableAgreementFacade, RoundsMatchDepth) {
+  EXPECT_EQ(DegradableAgreement(Config{.n = 5, .m = 0, .u = 2}).rounds(), 2);
+  EXPECT_EQ(DegradableAgreement(Config{.n = 7, .m = 1, .u = 4}).rounds(), 2);
+  EXPECT_EQ(DegradableAgreement(Config{.n = 7, .m = 2, .u = 2}).rounds(), 3);
+}
+
+TEST(DegradableAgreementFacade, InvalidConfigRejected) {
+  EXPECT_THROW(DegradableAgreement(Config{.n = 3, .m = 2, .u = 1}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace da

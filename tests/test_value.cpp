@@ -1,0 +1,68 @@
+#include "util/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace da {
+namespace {
+
+TEST(Value, DefaultConstructedIsVd) {
+  const Value v;
+  EXPECT_TRUE(v.is_default());
+  EXPECT_EQ(v, Value::def());
+}
+
+TEST(Value, OrdinaryValuesAreNotDefault) {
+  EXPECT_FALSE(Value::of(0).is_default());
+  EXPECT_FALSE(Value::of(-1).is_default());
+  EXPECT_FALSE(Value::of(42).is_default());
+}
+
+TEST(Value, DefaultDistinguishableFromEveryPayload) {
+  // The paper: "V_d is assumed to be distinguishable from all other
+  // relevant values" — including a zero payload.
+  for (std::int64_t raw : {-5LL, 0LL, 1LL, 100LL}) {
+    EXPECT_NE(Value::of(raw), Value::def());
+  }
+}
+
+TEST(Value, EqualityIsPayloadEquality) {
+  EXPECT_EQ(Value::of(7), Value::of(7));
+  EXPECT_NE(Value::of(7), Value::of(8));
+}
+
+TEST(Value, RawRoundTrips) {
+  EXPECT_EQ(Value::of(123456789).raw(), 123456789);
+  EXPECT_EQ(Value::of(-42).raw(), -42);
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::def().to_string(), "V_d");
+  EXPECT_EQ(Value::of(17).to_string(), "17");
+  EXPECT_EQ(Value::of(-3).to_string(), "-3");
+}
+
+TEST(Value, HashSeparatesDefaultFromZero) {
+  const std::hash<Value> h;
+  EXPECT_NE(h(Value::def()), h(Value::of(0)));
+}
+
+TEST(Value, UsableInUnorderedContainers) {
+  std::unordered_set<Value> set;
+  set.insert(Value::def());
+  set.insert(Value::of(0));
+  set.insert(Value::of(0));
+  set.insert(Value::of(1));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(Value::def()));
+}
+
+TEST(Value, OrderingIsTotal) {
+  EXPECT_LT(Value::of(1), Value::of(2));
+  // V_d sorts apart from ordinary values with the same payload.
+  EXPECT_NE(Value::def() < Value::of(0), Value::of(0) < Value::def());
+}
+
+}  // namespace
+}  // namespace da

@@ -1,0 +1,153 @@
+#include "protocols/common/vote.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace da::protocols {
+namespace {
+
+std::vector<Value> vals(std::initializer_list<std::int64_t> raws) {
+  std::vector<Value> out;
+  for (auto r : raws) out.push_back(Value::of(r));
+  return out;
+}
+
+// The paper's three worked examples for VOTE(2,4).
+TEST(Vote, PaperExampleWinner) {
+  EXPECT_EQ(vote(vals({1, 2, 2, 3}), 2), Value::of(2));
+}
+
+TEST(Vote, PaperExampleNoThreshold) {
+  EXPECT_EQ(vote(vals({1, 2, 0, 3}), 2), Value::def());
+}
+
+TEST(Vote, PaperExampleTie) {
+  EXPECT_EQ(vote(vals({1, 2, 2, 1}), 2), Value::def());
+}
+
+TEST(Vote, UnanimousWins) {
+  EXPECT_EQ(vote(vals({5, 5, 5, 5}), 4), Value::of(5));
+}
+
+TEST(Vote, ThresholdOneWithSingleValue) {
+  EXPECT_EQ(vote(vals({9}), 1), Value::of(9));
+}
+
+TEST(Vote, ThresholdOneWithDistinctValuesIsTie) {
+  EXPECT_EQ(vote(vals({1, 2}), 1), Value::def());
+}
+
+TEST(Vote, DefaultValueCanWin) {
+  const std::vector<Value> values{Value::def(), Value::def(), Value::of(3)};
+  EXPECT_EQ(vote(values, 2), Value::def());
+}
+
+TEST(Vote, DefaultAndOrdinaryTie) {
+  const std::vector<Value> values{Value::def(), Value::def(), Value::of(3),
+                                  Value::of(3)};
+  EXPECT_EQ(vote(values, 2), Value::def());
+}
+
+TEST(Vote, ThreeWayTie) {
+  EXPECT_EQ(vote(vals({1, 1, 2, 2, 3, 3}), 2), Value::def());
+}
+
+TEST(Vote, ExactThresholdBoundary) {
+  EXPECT_EQ(vote(vals({4, 4, 4, 1, 2}), 3), Value::of(4));
+  EXPECT_EQ(vote(vals({4, 4, 1, 2, 3}), 3), Value::def());
+}
+
+TEST(Vote, PermutationInvariance) {
+  Rng rng(99);
+  std::vector<Value> values = vals({7, 7, 7, 1, 2, 2, 9, 7});
+  const Value expected = vote(values, 4);
+  for (int i = 0; i < 50; ++i) {
+    rng.shuffle(values);
+    EXPECT_EQ(vote(values, 4), expected);
+  }
+}
+
+TEST(Vote, RaisingThresholdNeverInventsAWinner) {
+  // If a value wins at threshold a it has >= a copies; any winner at a
+  // higher threshold must be the same value.
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Value> values;
+    const int len = 1 + static_cast<int>(rng.below(9));
+    for (int i = 0; i < len; ++i) {
+      values.push_back(Value::of(rng.range(0, 3)));
+    }
+    for (std::size_t alpha = 1; alpha + 1 <= values.size(); ++alpha) {
+      const Value lower = vote(values, alpha);
+      const Value higher = vote(values, alpha + 1);
+      if (!higher.is_default()) {
+        // A high-threshold winner also reaches the lower threshold, so the
+        // lower vote is either the same value or V_d (tie with another
+        // value that also reaches the lower threshold).
+        EXPECT_TRUE(lower == higher || lower.is_default())
+            << "alpha=" << alpha << " lower=" << lower.to_string()
+            << " higher=" << higher.to_string();
+      }
+    }
+  }
+}
+
+TEST(Vote, MajorityEqualsVoteAtHalfPlusOne) {
+  Rng rng(21);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Value> values;
+    const int len = 1 + static_cast<int>(rng.below(10));
+    for (int i = 0; i < len; ++i) {
+      values.push_back(rng.chance(0.15) ? Value::def()
+                                        : Value::of(rng.range(0, 2)));
+    }
+    EXPECT_EQ(majority(values), vote(values, values.size() / 2 + 1));
+  }
+}
+
+TEST(Vote, MajorityEmptyIsDefault) {
+  EXPECT_EQ(majority(std::vector<Value>{}), Value::def());
+}
+
+TEST(Vote, MajorityNoStrictMajorityIsDefault) {
+  EXPECT_EQ(majority(vals({1, 1, 2, 2})), Value::def());
+  EXPECT_EQ(majority(vals({1, 1, 2, 2, 2})), Value::of(2));
+}
+
+TEST(Vote, KofNVoterMatchesPaperDefinition) {
+  // (m+u)-out-of-(2m+u): m=1, u=2 -> 3-out-of-4.
+  EXPECT_EQ(k_of_n_vote(vals({8, 8, 8, 5}), 3), Value::of(8));
+  EXPECT_EQ(k_of_n_vote(vals({8, 8, 5, 5}), 3), Value::def());
+}
+
+// Parameterized sweep: with a clean super-threshold bloc, the bloc value
+// always wins regardless of how adversarial the remainder is.
+class VoteBlocSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(VoteBlocSweep, CleanBlocAlwaysWins) {
+  const auto [total, bloc] = GetParam();
+  ASSERT_GT(bloc, total - bloc);  // bloc strictly larger than remainder
+  Rng rng(static_cast<std::uint64_t>(total * 100 + bloc));
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Value> values(static_cast<std::size_t>(bloc), Value::of(77));
+    for (int i = bloc; i < total; ++i) {
+      values.push_back(rng.chance(0.2) ? Value::def()
+                                       : Value::of(rng.range(0, 200)));
+    }
+    rng.shuffle(values);
+    EXPECT_EQ(vote(values, static_cast<std::size_t>(bloc)), Value::of(77));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VoteBlocSweep,
+    ::testing::Values(std::tuple{3, 2}, std::tuple{4, 3}, std::tuple{5, 3},
+                      std::tuple{7, 4}, std::tuple{9, 5}, std::tuple{10, 6},
+                      std::tuple{15, 8}, std::tuple{20, 11}));
+
+}  // namespace
+}  // namespace da::protocols
