@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_vote"
+  "../bench/bench_ablation_vote.pdb"
+  "CMakeFiles/bench_ablation_vote.dir/bench_ablation_vote.cpp.o"
+  "CMakeFiles/bench_ablation_vote.dir/bench_ablation_vote.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_clocksync"
+  "../bench/bench_clocksync.pdb"
+  "CMakeFiles/bench_clocksync.dir/bench_clocksync.cpp.o"
+  "CMakeFiles/bench_clocksync.dir/bench_clocksync.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clocksync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

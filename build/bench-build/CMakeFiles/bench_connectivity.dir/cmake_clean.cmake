@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_connectivity"
+  "../bench/bench_connectivity.pdb"
+  "CMakeFiles/bench_connectivity.dir/bench_connectivity.cpp.o"
+  "CMakeFiles/bench_connectivity.dir/bench_connectivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_event_timing"
+  "../bench/bench_event_timing.pdb"
+  "CMakeFiles/bench_event_timing.dir/bench_event_timing.cpp.o"
+  "CMakeFiles/bench_event_timing.dir/bench_event_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_channels"
+  "../bench/bench_fig1_channels.pdb"
+  "CMakeFiles/bench_fig1_channels.dir/bench_fig1_channels.cpp.o"
+  "CMakeFiles/bench_fig1_channels.dir/bench_fig1_channels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

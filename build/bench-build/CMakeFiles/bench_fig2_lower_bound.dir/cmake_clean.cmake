@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_lower_bound"
+  "../bench/bench_fig2_lower_bound.pdb"
+  "CMakeFiles/bench_fig2_lower_bound.dir/bench_fig2_lower_bound.cpp.o"
+  "CMakeFiles/bench_fig2_lower_bound.dir/bench_fig2_lower_bound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

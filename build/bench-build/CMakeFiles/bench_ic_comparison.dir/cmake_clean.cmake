@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ic_comparison"
+  "../bench/bench_ic_comparison.pdb"
+  "CMakeFiles/bench_ic_comparison.dir/bench_ic_comparison.cpp.o"
+  "CMakeFiles/bench_ic_comparison.dir/bench_ic_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ic_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

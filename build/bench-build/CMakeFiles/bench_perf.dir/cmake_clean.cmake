@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf"
+  "../bench/bench_perf.pdb"
+  "CMakeFiles/bench_perf.dir/bench_perf.cpp.o"
+  "CMakeFiles/bench_perf.dir/bench_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

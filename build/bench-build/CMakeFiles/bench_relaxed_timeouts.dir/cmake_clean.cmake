@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_relaxed_timeouts"
+  "../bench/bench_relaxed_timeouts.pdb"
+  "CMakeFiles/bench_relaxed_timeouts.dir/bench_relaxed_timeouts.cpp.o"
+  "CMakeFiles/bench_relaxed_timeouts.dir/bench_relaxed_timeouts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_relaxed_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sm_comparison"
+  "../bench/bench_sm_comparison.pdb"
+  "CMakeFiles/bench_sm_comparison.dir/bench_sm_comparison.cpp.o"
+  "CMakeFiles/bench_sm_comparison.dir/bench_sm_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

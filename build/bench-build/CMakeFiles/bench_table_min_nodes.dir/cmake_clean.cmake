@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table_min_nodes"
+  "../bench/bench_table_min_nodes.pdb"
+  "CMakeFiles/bench_table_min_nodes.dir/bench_table_min_nodes.cpp.o"
+  "CMakeFiles/bench_table_min_nodes.dir/bench_table_min_nodes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_min_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tradeoff_n7"
+  "../bench/bench_tradeoff_n7.pdb"
+  "CMakeFiles/bench_tradeoff_n7.dir/bench_tradeoff_n7.cpp.o"
+  "CMakeFiles/bench_tradeoff_n7.dir/bench_tradeoff_n7.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tradeoff_n7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

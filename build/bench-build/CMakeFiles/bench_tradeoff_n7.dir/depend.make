@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tradeoff_n7.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connectivity_explorer.dir/connectivity_explorer.cpp.o"
+  "CMakeFiles/connectivity_explorer.dir/connectivity_explorer.cpp.o.d"
+  "connectivity_explorer"
+  "connectivity_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connectivity_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

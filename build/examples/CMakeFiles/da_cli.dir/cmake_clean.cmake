@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/da_cli.dir/da_cli.cpp.o"
+  "CMakeFiles/da_cli.dir/da_cli.cpp.o.d"
+  "da_cli"
+  "da_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/da_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fly_by_wire.dir/fly_by_wire.cpp.o"
+  "CMakeFiles/fly_by_wire.dir/fly_by_wire.cpp.o.d"
+  "fly_by_wire"
+  "fly_by_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fly_by_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

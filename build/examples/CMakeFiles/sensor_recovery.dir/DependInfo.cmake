@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sensor_recovery.cpp" "examples/CMakeFiles/sensor_recovery.dir/sensor_recovery.cpp.o" "gcc" "examples/CMakeFiles/sensor_recovery.dir/sensor_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/da_channels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_clocksync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

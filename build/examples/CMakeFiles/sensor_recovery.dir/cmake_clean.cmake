@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_recovery.dir/sensor_recovery.cpp.o"
+  "CMakeFiles/sensor_recovery.dir/sensor_recovery.cpp.o.d"
+  "sensor_recovery"
+  "sensor_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/da_channels.dir/channels/channel_system.cpp.o"
+  "CMakeFiles/da_channels.dir/channels/channel_system.cpp.o.d"
+  "CMakeFiles/da_channels.dir/channels/recovery.cpp.o"
+  "CMakeFiles/da_channels.dir/channels/recovery.cpp.o.d"
+  "CMakeFiles/da_channels.dir/channels/voter.cpp.o"
+  "CMakeFiles/da_channels.dir/channels/voter.cpp.o.d"
+  "libda_channels.a"
+  "libda_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/da_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

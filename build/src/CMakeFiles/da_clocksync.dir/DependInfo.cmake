@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clocksync/convergence.cpp" "src/CMakeFiles/da_clocksync.dir/clocksync/convergence.cpp.o" "gcc" "src/CMakeFiles/da_clocksync.dir/clocksync/convergence.cpp.o.d"
+  "/root/repo/src/clocksync/degradable_sync.cpp" "src/CMakeFiles/da_clocksync.dir/clocksync/degradable_sync.cpp.o" "gcc" "src/CMakeFiles/da_clocksync.dir/clocksync/degradable_sync.cpp.o.d"
+  "/root/repo/src/clocksync/hardware_clock.cpp" "src/CMakeFiles/da_clocksync.dir/clocksync/hardware_clock.cpp.o" "gcc" "src/CMakeFiles/da_clocksync.dir/clocksync/hardware_clock.cpp.o.d"
+  "/root/repo/src/clocksync/witness.cpp" "src/CMakeFiles/da_clocksync.dir/clocksync/witness.cpp.o" "gcc" "src/CMakeFiles/da_clocksync.dir/clocksync/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/da_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

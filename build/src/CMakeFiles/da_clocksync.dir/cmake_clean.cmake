@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/da_clocksync.dir/clocksync/convergence.cpp.o"
+  "CMakeFiles/da_clocksync.dir/clocksync/convergence.cpp.o.d"
+  "CMakeFiles/da_clocksync.dir/clocksync/degradable_sync.cpp.o"
+  "CMakeFiles/da_clocksync.dir/clocksync/degradable_sync.cpp.o.d"
+  "CMakeFiles/da_clocksync.dir/clocksync/hardware_clock.cpp.o"
+  "CMakeFiles/da_clocksync.dir/clocksync/hardware_clock.cpp.o.d"
+  "CMakeFiles/da_clocksync.dir/clocksync/witness.cpp.o"
+  "CMakeFiles/da_clocksync.dir/clocksync/witness.cpp.o.d"
+  "libda_clocksync.a"
+  "libda_clocksync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/da_clocksync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

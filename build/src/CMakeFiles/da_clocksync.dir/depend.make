@@ -1,0 +1,2 @@
+# Empty dependencies file for da_clocksync.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agreement.cpp" "src/CMakeFiles/da_core.dir/core/agreement.cpp.o" "gcc" "src/CMakeFiles/da_core.dir/core/agreement.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/CMakeFiles/da_core.dir/core/bounds.cpp.o" "gcc" "src/CMakeFiles/da_core.dir/core/bounds.cpp.o.d"
+  "/root/repo/src/core/byz.cpp" "src/CMakeFiles/da_core.dir/core/byz.cpp.o" "gcc" "src/CMakeFiles/da_core.dir/core/byz.cpp.o.d"
+  "/root/repo/src/core/checker.cpp" "src/CMakeFiles/da_core.dir/core/checker.cpp.o" "gcc" "src/CMakeFiles/da_core.dir/core/checker.cpp.o.d"
+  "/root/repo/src/core/degradable_ic.cpp" "src/CMakeFiles/da_core.dir/core/degradable_ic.cpp.o" "gcc" "src/CMakeFiles/da_core.dir/core/degradable_ic.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/da_core.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/da_core.dir/core/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/da_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

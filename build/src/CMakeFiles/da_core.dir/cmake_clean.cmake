@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/da_core.dir/core/agreement.cpp.o"
+  "CMakeFiles/da_core.dir/core/agreement.cpp.o.d"
+  "CMakeFiles/da_core.dir/core/bounds.cpp.o"
+  "CMakeFiles/da_core.dir/core/bounds.cpp.o.d"
+  "CMakeFiles/da_core.dir/core/byz.cpp.o"
+  "CMakeFiles/da_core.dir/core/byz.cpp.o.d"
+  "CMakeFiles/da_core.dir/core/checker.cpp.o"
+  "CMakeFiles/da_core.dir/core/checker.cpp.o.d"
+  "CMakeFiles/da_core.dir/core/degradable_ic.cpp.o"
+  "CMakeFiles/da_core.dir/core/degradable_ic.cpp.o.d"
+  "CMakeFiles/da_core.dir/core/scenario.cpp.o"
+  "CMakeFiles/da_core.dir/core/scenario.cpp.o.d"
+  "libda_core.a"
+  "libda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/da_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

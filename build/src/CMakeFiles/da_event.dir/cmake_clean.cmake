@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/da_event.dir/event/event_runner.cpp.o"
+  "CMakeFiles/da_event.dir/event/event_runner.cpp.o.d"
+  "libda_event.a"
+  "libda_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/da_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/adversaries.cpp" "src/CMakeFiles/da_faults.dir/faults/adversaries.cpp.o" "gcc" "src/CMakeFiles/da_faults.dir/faults/adversaries.cpp.o.d"
+  "/root/repo/src/faults/behavior_search.cpp" "src/CMakeFiles/da_faults.dir/faults/behavior_search.cpp.o" "gcc" "src/CMakeFiles/da_faults.dir/faults/behavior_search.cpp.o.d"
+  "/root/repo/src/faults/figure2.cpp" "src/CMakeFiles/da_faults.dir/faults/figure2.cpp.o" "gcc" "src/CMakeFiles/da_faults.dir/faults/figure2.cpp.o.d"
+  "/root/repo/src/faults/scripted.cpp" "src/CMakeFiles/da_faults.dir/faults/scripted.cpp.o" "gcc" "src/CMakeFiles/da_faults.dir/faults/scripted.cpp.o.d"
+  "/root/repo/src/faults/search.cpp" "src/CMakeFiles/da_faults.dir/faults/search.cpp.o" "gcc" "src/CMakeFiles/da_faults.dir/faults/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/da_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/da_faults.dir/faults/adversaries.cpp.o"
+  "CMakeFiles/da_faults.dir/faults/adversaries.cpp.o.d"
+  "CMakeFiles/da_faults.dir/faults/behavior_search.cpp.o"
+  "CMakeFiles/da_faults.dir/faults/behavior_search.cpp.o.d"
+  "CMakeFiles/da_faults.dir/faults/figure2.cpp.o"
+  "CMakeFiles/da_faults.dir/faults/figure2.cpp.o.d"
+  "CMakeFiles/da_faults.dir/faults/scripted.cpp.o"
+  "CMakeFiles/da_faults.dir/faults/scripted.cpp.o.d"
+  "CMakeFiles/da_faults.dir/faults/search.cpp.o"
+  "CMakeFiles/da_faults.dir/faults/search.cpp.o.d"
+  "libda_faults.a"
+  "libda_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/da_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

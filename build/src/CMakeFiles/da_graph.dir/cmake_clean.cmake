@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/da_graph.dir/graph/connectivity.cpp.o"
+  "CMakeFiles/da_graph.dir/graph/connectivity.cpp.o.d"
+  "CMakeFiles/da_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/da_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/da_graph.dir/graph/topology.cpp.o"
+  "CMakeFiles/da_graph.dir/graph/topology.cpp.o.d"
+  "libda_graph.a"
+  "libda_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/da_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

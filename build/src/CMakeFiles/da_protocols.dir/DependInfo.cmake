@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/authenticated/signatures.cpp" "src/CMakeFiles/da_protocols.dir/protocols/authenticated/signatures.cpp.o" "gcc" "src/CMakeFiles/da_protocols.dir/protocols/authenticated/signatures.cpp.o.d"
+  "/root/repo/src/protocols/authenticated/sm.cpp" "src/CMakeFiles/da_protocols.dir/protocols/authenticated/sm.cpp.o" "gcc" "src/CMakeFiles/da_protocols.dir/protocols/authenticated/sm.cpp.o.d"
+  "/root/repo/src/protocols/common/eig.cpp" "src/CMakeFiles/da_protocols.dir/protocols/common/eig.cpp.o" "gcc" "src/CMakeFiles/da_protocols.dir/protocols/common/eig.cpp.o.d"
+  "/root/repo/src/protocols/common/eig_process.cpp" "src/CMakeFiles/da_protocols.dir/protocols/common/eig_process.cpp.o" "gcc" "src/CMakeFiles/da_protocols.dir/protocols/common/eig_process.cpp.o.d"
+  "/root/repo/src/protocols/common/vote.cpp" "src/CMakeFiles/da_protocols.dir/protocols/common/vote.cpp.o" "gcc" "src/CMakeFiles/da_protocols.dir/protocols/common/vote.cpp.o.d"
+  "/root/repo/src/protocols/crusader/crusader.cpp" "src/CMakeFiles/da_protocols.dir/protocols/crusader/crusader.cpp.o" "gcc" "src/CMakeFiles/da_protocols.dir/protocols/crusader/crusader.cpp.o.d"
+  "/root/repo/src/protocols/ic/interactive_consistency.cpp" "src/CMakeFiles/da_protocols.dir/protocols/ic/interactive_consistency.cpp.o" "gcc" "src/CMakeFiles/da_protocols.dir/protocols/ic/interactive_consistency.cpp.o.d"
+  "/root/repo/src/protocols/lamport/om.cpp" "src/CMakeFiles/da_protocols.dir/protocols/lamport/om.cpp.o" "gcc" "src/CMakeFiles/da_protocols.dir/protocols/lamport/om.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/da_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

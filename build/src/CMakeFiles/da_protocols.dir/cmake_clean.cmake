@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/da_protocols.dir/protocols/authenticated/signatures.cpp.o"
+  "CMakeFiles/da_protocols.dir/protocols/authenticated/signatures.cpp.o.d"
+  "CMakeFiles/da_protocols.dir/protocols/authenticated/sm.cpp.o"
+  "CMakeFiles/da_protocols.dir/protocols/authenticated/sm.cpp.o.d"
+  "CMakeFiles/da_protocols.dir/protocols/common/eig.cpp.o"
+  "CMakeFiles/da_protocols.dir/protocols/common/eig.cpp.o.d"
+  "CMakeFiles/da_protocols.dir/protocols/common/eig_process.cpp.o"
+  "CMakeFiles/da_protocols.dir/protocols/common/eig_process.cpp.o.d"
+  "CMakeFiles/da_protocols.dir/protocols/common/vote.cpp.o"
+  "CMakeFiles/da_protocols.dir/protocols/common/vote.cpp.o.d"
+  "CMakeFiles/da_protocols.dir/protocols/crusader/crusader.cpp.o"
+  "CMakeFiles/da_protocols.dir/protocols/crusader/crusader.cpp.o.d"
+  "CMakeFiles/da_protocols.dir/protocols/ic/interactive_consistency.cpp.o"
+  "CMakeFiles/da_protocols.dir/protocols/ic/interactive_consistency.cpp.o.d"
+  "CMakeFiles/da_protocols.dir/protocols/lamport/om.cpp.o"
+  "CMakeFiles/da_protocols.dir/protocols/lamport/om.cpp.o.d"
+  "libda_protocols.a"
+  "libda_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/da_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

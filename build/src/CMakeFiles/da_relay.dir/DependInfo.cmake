@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relay/cutset_adversary.cpp" "src/CMakeFiles/da_relay.dir/relay/cutset_adversary.cpp.o" "gcc" "src/CMakeFiles/da_relay.dir/relay/cutset_adversary.cpp.o.d"
+  "/root/repo/src/relay/disjoint_relay.cpp" "src/CMakeFiles/da_relay.dir/relay/disjoint_relay.cpp.o" "gcc" "src/CMakeFiles/da_relay.dir/relay/disjoint_relay.cpp.o.d"
+  "/root/repo/src/relay/graph_network.cpp" "src/CMakeFiles/da_relay.dir/relay/graph_network.cpp.o" "gcc" "src/CMakeFiles/da_relay.dir/relay/graph_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/da_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

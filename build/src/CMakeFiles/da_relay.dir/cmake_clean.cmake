@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/da_relay.dir/relay/cutset_adversary.cpp.o"
+  "CMakeFiles/da_relay.dir/relay/cutset_adversary.cpp.o.d"
+  "CMakeFiles/da_relay.dir/relay/disjoint_relay.cpp.o"
+  "CMakeFiles/da_relay.dir/relay/disjoint_relay.cpp.o.d"
+  "CMakeFiles/da_relay.dir/relay/graph_network.cpp.o"
+  "CMakeFiles/da_relay.dir/relay/graph_network.cpp.o.d"
+  "libda_relay.a"
+  "libda_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/da_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

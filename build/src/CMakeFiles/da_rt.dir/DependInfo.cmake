@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/mailbox.cpp" "src/CMakeFiles/da_rt.dir/rt/mailbox.cpp.o" "gcc" "src/CMakeFiles/da_rt.dir/rt/mailbox.cpp.o.d"
+  "/root/repo/src/rt/threaded_runner.cpp" "src/CMakeFiles/da_rt.dir/rt/threaded_runner.cpp.o" "gcc" "src/CMakeFiles/da_rt.dir/rt/threaded_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/da_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/da_rt.dir/rt/mailbox.cpp.o"
+  "CMakeFiles/da_rt.dir/rt/mailbox.cpp.o.d"
+  "CMakeFiles/da_rt.dir/rt/threaded_runner.cpp.o"
+  "CMakeFiles/da_rt.dir/rt/threaded_runner.cpp.o.d"
+  "libda_rt.a"
+  "libda_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/da_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

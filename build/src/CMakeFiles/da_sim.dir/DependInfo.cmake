@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/message.cpp" "src/CMakeFiles/da_sim.dir/sim/message.cpp.o" "gcc" "src/CMakeFiles/da_sim.dir/sim/message.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/da_sim.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/da_sim.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/CMakeFiles/da_sim.dir/sim/runner.cpp.o" "gcc" "src/CMakeFiles/da_sim.dir/sim/runner.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/da_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/da_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/da_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/da_sim.dir/sim/message.cpp.o"
+  "CMakeFiles/da_sim.dir/sim/message.cpp.o.d"
+  "CMakeFiles/da_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/da_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/da_sim.dir/sim/runner.cpp.o"
+  "CMakeFiles/da_sim.dir/sim/runner.cpp.o.d"
+  "CMakeFiles/da_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/da_sim.dir/sim/trace.cpp.o.d"
+  "libda_sim.a"
+  "libda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/da_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libda_sim.a"
+)

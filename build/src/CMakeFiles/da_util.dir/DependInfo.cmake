@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/da_util.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/da_util.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/da_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/da_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/da_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/da_util.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/value.cpp" "src/CMakeFiles/da_util.dir/util/value.cpp.o" "gcc" "src/CMakeFiles/da_util.dir/util/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

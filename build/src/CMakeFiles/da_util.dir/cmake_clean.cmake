@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/da_util.dir/util/log.cpp.o"
+  "CMakeFiles/da_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/da_util.dir/util/rng.cpp.o"
+  "CMakeFiles/da_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/da_util.dir/util/table.cpp.o"
+  "CMakeFiles/da_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/da_util.dir/util/value.cpp.o"
+  "CMakeFiles/da_util.dir/util/value.cpp.o.d"
+  "libda_util.a"
+  "libda_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/da_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

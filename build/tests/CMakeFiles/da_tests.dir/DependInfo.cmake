@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adversaries.cpp" "tests/CMakeFiles/da_tests.dir/test_adversaries.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_adversaries.cpp.o.d"
+  "/root/repo/tests/test_behavior_search.cpp" "tests/CMakeFiles/da_tests.dir/test_behavior_search.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_behavior_search.cpp.o.d"
+  "/root/repo/tests/test_bounds.cpp" "tests/CMakeFiles/da_tests.dir/test_bounds.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_bounds.cpp.o.d"
+  "/root/repo/tests/test_byz_basic.cpp" "tests/CMakeFiles/da_tests.dir/test_byz_basic.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_byz_basic.cpp.o.d"
+  "/root/repo/tests/test_byz_exhaustive.cpp" "tests/CMakeFiles/da_tests.dir/test_byz_exhaustive.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_byz_exhaustive.cpp.o.d"
+  "/root/repo/tests/test_byz_properties.cpp" "tests/CMakeFiles/da_tests.dir/test_byz_properties.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_byz_properties.cpp.o.d"
+  "/root/repo/tests/test_channels.cpp" "tests/CMakeFiles/da_tests.dir/test_channels.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_channels.cpp.o.d"
+  "/root/repo/tests/test_checker.cpp" "tests/CMakeFiles/da_tests.dir/test_checker.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_checker.cpp.o.d"
+  "/root/repo/tests/test_clocksync.cpp" "tests/CMakeFiles/da_tests.dir/test_clocksync.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_clocksync.cpp.o.d"
+  "/root/repo/tests/test_connectivity.cpp" "tests/CMakeFiles/da_tests.dir/test_connectivity.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_connectivity.cpp.o.d"
+  "/root/repo/tests/test_cross_runtime.cpp" "tests/CMakeFiles/da_tests.dir/test_cross_runtime.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_cross_runtime.cpp.o.d"
+  "/root/repo/tests/test_crusader.cpp" "tests/CMakeFiles/da_tests.dir/test_crusader.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_crusader.cpp.o.d"
+  "/root/repo/tests/test_degradable_ic.cpp" "tests/CMakeFiles/da_tests.dir/test_degradable_ic.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_degradable_ic.cpp.o.d"
+  "/root/repo/tests/test_degradable_sync.cpp" "tests/CMakeFiles/da_tests.dir/test_degradable_sync.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_degradable_sync.cpp.o.d"
+  "/root/repo/tests/test_eig.cpp" "tests/CMakeFiles/da_tests.dir/test_eig.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_eig.cpp.o.d"
+  "/root/repo/tests/test_event_runner.cpp" "tests/CMakeFiles/da_tests.dir/test_event_runner.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_event_runner.cpp.o.d"
+  "/root/repo/tests/test_figure2.cpp" "tests/CMakeFiles/da_tests.dir/test_figure2.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_figure2.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/da_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/da_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_relay.cpp" "tests/CMakeFiles/da_tests.dir/test_graph_relay.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_graph_relay.cpp.o.d"
+  "/root/repo/tests/test_ic.cpp" "tests/CMakeFiles/da_tests.dir/test_ic.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_ic.cpp.o.d"
+  "/root/repo/tests/test_lamport.cpp" "tests/CMakeFiles/da_tests.dir/test_lamport.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_lamport.cpp.o.d"
+  "/root/repo/tests/test_path.cpp" "tests/CMakeFiles/da_tests.dir/test_path.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_path.cpp.o.d"
+  "/root/repo/tests/test_recovery.cpp" "tests/CMakeFiles/da_tests.dir/test_recovery.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_recovery.cpp.o.d"
+  "/root/repo/tests/test_relaxed_timeouts.cpp" "tests/CMakeFiles/da_tests.dir/test_relaxed_timeouts.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_relaxed_timeouts.cpp.o.d"
+  "/root/repo/tests/test_relay.cpp" "tests/CMakeFiles/da_tests.dir/test_relay.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_relay.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/da_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sim_runner.cpp" "tests/CMakeFiles/da_tests.dir/test_sim_runner.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_sim_runner.cpp.o.d"
+  "/root/repo/tests/test_sm.cpp" "tests/CMakeFiles/da_tests.dir/test_sm.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_sm.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/da_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_threaded_runner.cpp" "tests/CMakeFiles/da_tests.dir/test_threaded_runner.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_threaded_runner.cpp.o.d"
+  "/root/repo/tests/test_util_misc.cpp" "tests/CMakeFiles/da_tests.dir/test_util_misc.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_util_misc.cpp.o.d"
+  "/root/repo/tests/test_value.cpp" "tests/CMakeFiles/da_tests.dir/test_value.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_value.cpp.o.d"
+  "/root/repo/tests/test_vote.cpp" "tests/CMakeFiles/da_tests.dir/test_vote.cpp.o" "gcc" "tests/CMakeFiles/da_tests.dir/test_vote.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/da_channels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_clocksync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/da_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
