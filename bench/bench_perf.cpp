@@ -8,17 +8,27 @@
 //   - Lamport OM(m) over the same substrate (identical message pattern,
 //     cheaper resolve);
 //   - Crusader (2 rounds regardless of m);
-//   - the VOTE primitive and EIG-tree resolution in isolation.
+//   - the VOTE primitive and EIG-tree resolution in isolation;
+//   - the parallel scenario-sweep engine over the adversary-complete
+//     behaviour space (`--jobs N` adds an N-worker variant next to the
+//     1-worker baseline, so the report shows the scaling directly).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "core/agreement.hpp"
 #include "faults/adversaries.hpp"
+#include "faults/behavior_search.hpp"
+#include "faults/search.hpp"
 #include "protocols/common/vote.hpp"
 #include "protocols/crusader/crusader.hpp"
 #include "util/rng.hpp"
 
 namespace {
+
+int g_jobs = 1;
 
 da::ScenarioSpec make_spec(const da::Config& config, int f) {
   da::ScenarioSpec spec;
@@ -144,6 +154,76 @@ void BM_ThresholdVoterKofN(benchmark::State& state) {
 }
 BENCHMARK(BM_ThresholdVoterKofN)->Arg(4)->Arg(16)->Arg(64);
 
+// The adversary-complete behaviour sweep at the Theorem 2 boundary
+// (n = 5, 1/2-degradable), on `state.range(0)` sweep workers. Registered
+// for 1 worker and for the `--jobs` value, so one run reports the
+// speedup. Counters: canonical executions (thread-count independent) and
+// executions actually performed (includes speculative work).
+void BM_BehaviourSweep(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const da::Config config{.n = 5, .m = 1, .u = 2};
+  da::sweep::SweepOptions options;
+  options.jobs = jobs;
+  da::sweep::SweepStats stats;
+  for (auto _ : state) {
+    const auto violation =
+        da::faults::exhaustive_behavior_search(config, -1, options, &stats);
+    benchmark::DoNotOptimize(violation);
+  }
+  state.counters["executions"] = static_cast<double>(stats.executions);
+  state.counters["performed"] = static_cast<double>(stats.performed);
+  state.counters["shards"] = static_cast<double>(stats.shards);
+}
+
+// The adversary-family search on a mid-size feasible config, same split.
+void BM_FamilySearchSweep(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const da::Config config{.n = 7, .m = 1, .u = 4};
+  da::faults::SearchOptions search;
+  search.seed = 7;
+  da::sweep::SweepOptions options;
+  options.jobs = jobs;
+  da::sweep::SweepStats stats;
+  for (auto _ : state) {
+    const auto violation =
+        da::faults::search_violation(config, search, options, &stats);
+    benchmark::DoNotOptimize(violation);
+  }
+  state.counters["executions"] = static_cast<double>(stats.executions);
+  state.counters["shards"] = static_cast<double>(stats.shards);
+}
+
+void register_sweep_benchmarks() {
+  auto* behaviour =
+      benchmark::RegisterBenchmark("BM_BehaviourSweep", BM_BehaviourSweep);
+  auto* family = benchmark::RegisterBenchmark("BM_FamilySearchSweep",
+                                              BM_FamilySearchSweep);
+  for (auto* bench : {behaviour, family}) {
+    bench->Unit(benchmark::kMillisecond)->Arg(1);
+    if (g_jobs > 1) bench->Arg(g_jobs);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN(): `--jobs N` must be
+// stripped before benchmark::Initialize rejects it as an unknown flag.
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      g_jobs = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      g_jobs = std::atoi(argv[i] + 7);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  register_sweep_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,17 +4,24 @@
 // Besides printing the paper's table, this harness *verifies* the bound
 // empirically for the small cells: at N = N_min an exhaustive adversarial
 // search finds no violation of D.1-D.4; at N = N_min - 1 a violation is
-// found constructively.
+// found constructively. The sweeps run on the parallel scenario-sweep
+// engine; `--jobs N` sets the worker count (the verdicts are identical
+// for every value — see docs/SEARCH.md).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/bounds.hpp"
 #include "faults/behavior_search.hpp"
 #include "faults/search.hpp"
+#include "sweep/sweep.hpp"
 #include "util/table.hpp"
 
 namespace {
+
+int g_jobs = 1;
 
 constexpr int kMaxM = 3;
 constexpr int kMaxU = 6;
@@ -28,18 +35,22 @@ std::string verify_cell(int m, int u) {
 
   da::faults::SearchOptions options;
   options.seed = 7;
+  da::sweep::SweepOptions sweep_options;
+  sweep_options.jobs = g_jobs;
 
   const da::Config feasible{.n = n_min, .m = m, .u = u};
-  const auto ok = da::faults::search_violation(feasible, options);
+  const auto ok =
+      da::faults::search_violation(feasible, options, sweep_options);
   if (ok.has_value()) return "ACHIEVABILITY FAILED";
 
   // For depth-2 cells small enough, upgrade to the adversary-complete
   // sweep: every behaviour of every faulty subset over the canonical
-  // alphabet (see faults/behavior_search.hpp).
+  // alphabet (see faults/behavior_search.hpp and docs/SEARCH.md).
   bool adversary_complete = false;
   if (m <= 1 &&
       da::faults::behavior_search_space(feasible) <= 2'000'000) {
-    if (da::faults::exhaustive_behavior_search(feasible).has_value()) {
+    if (da::faults::exhaustive_behavior_search(feasible, -1, sweep_options)
+            .has_value()) {
       return "ACHIEVABILITY FAILED (behaviour sweep)";
     }
     adversary_complete = true;
@@ -50,7 +61,8 @@ std::string verify_cell(int m, int u) {
     da::faults::SearchOptions hard = options;
     hard.all_senders = true;
     const da::Config infeasible{.n = n_min - 1, .m = m, .u = u};
-    const auto broken = da::faults::search_violation(infeasible, hard);
+    const auto broken =
+        da::faults::search_violation(infeasible, hard, sweep_options);
     if (!broken.has_value()) return "TIGHTNESS UNCONFIRMED";
     return base + "+tight";
   }
@@ -59,9 +71,17 @@ std::string verify_cell(int m, int u) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      g_jobs = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      g_jobs = std::atoi(argv[i] + 7);
+    }
+  }
   std::puts("E1: minimum number of nodes for m/u-degradable agreement");
-  std::puts("    (paper, Section 2: N_min = 2m+u+1; '-' where u < m)\n");
+  std::puts("    (paper, Section 2: N_min = 2m+u+1; '-' where u < m)");
+  std::printf("    sweep workers: --jobs %d\n\n", g_jobs);
 
   {
     std::vector<std::string> header{"u \\ m"};

@@ -1,9 +1,11 @@
 #include "faults/behavior_search.hpp"
 
+#include <algorithm>
 #include <map>
 #include <utility>
 
 #include "core/byz.hpp"
+#include "sweep/shard.hpp"
 #include "util/contracts.hpp"
 
 namespace da::faults {
@@ -76,42 +78,82 @@ std::uint64_t pow_symbols(std::size_t slots) {
   return total;
 }
 
+/// One faulty subset's slice of the global enumeration: `base` is the
+/// global ordinal of its behaviour #0. Segments are built in the serial
+/// scan order (f ascending, subsets lexicographic), so the global ordinal
+/// order *is* the serial scan order and the parallel sweep's first hit is
+/// the serial search's first hit.
+struct Segment {
+  ScenarioSpec spec;
+  std::vector<std::pair<NodeId, NodeId>> slots;
+  std::uint64_t base = 0;
+};
+
+std::vector<Segment> build_segments(const Config& config, int limit) {
+  std::vector<Segment> segments;
+  std::uint64_t base = 0;
+  for (int f = 1; f <= limit; ++f) {
+    for_each_subset(config.n, f, [&](const std::vector<NodeId>& faulty) {
+      Segment seg;
+      seg.spec.config = config;
+      seg.spec.sender = 0;
+      seg.spec.sender_value = Value::of(7);
+      seg.spec.faulty = faulty;
+      seg.slots = controlled_slots(seg.spec);
+      DA_EXPECTS(seg.slots.size() <= 12);  // 4^12 = 16M: keep runs bounded
+      seg.base = base;
+      base += pow_symbols(seg.slots.size());
+      segments.push_back(std::move(seg));
+    });
+  }
+  return segments;
+}
+
 }  // namespace
 
-std::optional<Violation> exhaustive_behavior_search(const Config& config,
-                                                    int max_f) {
+std::optional<Violation> exhaustive_behavior_search(
+    const Config& config, int max_f, const sweep::SweepOptions& options,
+    sweep::SweepStats* stats) {
   DA_EXPECTS(config.valid());
   DA_EXPECTS(config.m <= 1);  // depth-2 instances only
   const int limit = max_f < 0 ? config.u : max_f;
   const DegradableAgreement protocol(config);
 
-  std::optional<Violation> found;
-  for (int f = 1; f <= limit && !found; ++f) {
-    for_each_subset(config.n, f, [&](const std::vector<NodeId>& faulty) {
-      if (found) return;
-      ScenarioSpec spec;
-      spec.config = config;
-      spec.sender = 0;
-      spec.sender_value = Value::of(7);
-      spec.faulty = faulty;
-
-      const auto slots = controlled_slots(spec);
-      DA_EXPECTS(slots.size() <= 12);  // 4^12 = 16M: keep runs bounded
-      const std::uint64_t total = pow_symbols(slots.size());
-      for (std::uint64_t counter = 0; counter < total; ++counter) {
-        TableAdversary adversary(
-            slots, decode(counter, slots.size(), spec.sender_value));
-        const ConditionReport report =
-            protocol.run_and_check(spec, &adversary);
-        if (!report.satisfied) {
-          found = Violation{spec, "behavior#" + std::to_string(counter),
-                            report};
-          return;
-        }
-      }
-    });
+  const std::vector<Segment> segments = build_segments(config, limit);
+  sweep::ShardPlan plan;
+  for (const Segment& seg : segments) {
+    plan.append_pow4(seg.slots.size());
   }
-  return found;
+
+  // Each shard lies inside one segment (append_pow4 never crosses a
+  // segment boundary); candidate violations are stashed per shard.
+  std::vector<std::optional<Violation>> candidates(plan.shard_count());
+  const auto visitor = [&](std::uint64_t ordinal, std::size_t shard,
+                           Rng&) -> sweep::Visit {
+    const auto seg_it = std::prev(std::upper_bound(
+        segments.begin(), segments.end(), ordinal,
+        [](std::uint64_t o, const Segment& s) { return o < s.base; }));
+    const Segment& seg = *seg_it;
+    const std::uint64_t counter = ordinal - seg.base;
+    TableAdversary adversary(
+        seg.slots, decode(counter, seg.slots.size(), seg.spec.sender_value));
+    const ConditionReport report =
+        protocol.run_and_check(seg.spec, &adversary);
+    if (report.satisfied) return {};
+    candidates[shard] = Violation{
+        seg.spec, "behavior#" + std::to_string(counter), report};
+    return {.hit = true};
+  };
+
+  const sweep::SweepResult result = sweep::run_sweep(plan, options, visitor);
+  if (stats != nullptr) *stats = result.stats;
+  if (!result.first_hit_shard.has_value()) return std::nullopt;
+  return candidates[*result.first_hit_shard];
+}
+
+std::optional<Violation> exhaustive_behavior_search(const Config& config,
+                                                    int max_f) {
+  return exhaustive_behavior_search(config, max_f, sweep::SweepOptions{});
 }
 
 std::uint64_t behavior_search_space(const Config& config, int max_f) {

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "faults/search.hpp"
+#include "sweep/sweep.hpp"
 
 namespace da::faults {
 
@@ -21,7 +22,8 @@ namespace da::faults {
 /// distinct forged symbols cover every equality pattern an adversary can
 /// force, and omission is equivalent to delivering V_d (an unset EIG slot
 /// reads as V_d). Under that standard canonicalization the sweep is
-/// adversary-complete, not merely family-complete.
+/// adversary-complete, not merely family-complete. docs/SEARCH.md spells
+/// the argument out in full, with its caveats.
 ///
 /// Controlled slots per faulty node: its round-0 broadcast (if it is the
 /// sender: n-1 destinations) and its round-1 relay of the sender slot
@@ -33,6 +35,16 @@ namespace da::faults {
 /// these configurations.
 [[nodiscard]] std::optional<Violation> exhaustive_behavior_search(
     const Config& config, int max_f = -1);
+
+/// Parallel form: the same sweep, sharded deterministically over the
+/// high-order base-4 digits of each subset's behaviour index and run on a
+/// work-stealing pool (see src/sweep/). For every `options.jobs` value it
+/// returns the same first-violation-or-nullopt verdict and the same
+/// canonical execution count (`stats->executions`); `stats` (optional)
+/// additionally receives per-shard counters for scaling reports.
+[[nodiscard]] std::optional<Violation> exhaustive_behavior_search(
+    const Config& config, int max_f, const sweep::SweepOptions& options,
+    sweep::SweepStats* stats = nullptr);
 
 /// Number of protocol executions the search performs (for reporting).
 [[nodiscard]] std::uint64_t behavior_search_space(const Config& config,

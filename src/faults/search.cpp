@@ -113,63 +113,108 @@ std::uint64_t search_space_size(const Config& config,
   return senders * advs * subsets;
 }
 
-std::optional<Violation> search_violation(const Config& config,
-                                          const SearchOptions& options) {
+namespace {
+
+/// One scenario ordinal of the flattened search space. Exhaustive entries
+/// carry their spec; random probes carry (sender, f) and materialize the
+/// spec from an ordinal-derived RNG stream inside the visitor, so the
+/// probed scenarios are a pure function of (seed, ordinal) — identical
+/// for every thread count.
+struct ScenarioEntry {
+  ScenarioSpec spec;
+  bool random = false;
+  NodeId sender = 0;
+  int f = 0;
+};
+
+/// Scenario ordinals are coarse units (each runs a whole adversary
+/// family), so shards are small to give the work-stealing pool enough
+/// pieces to balance. Constant, never derived from the job count.
+constexpr std::uint64_t kScenariosPerShard = 16;
+
+}  // namespace
+
+std::optional<Violation> search_violation(
+    const Config& config, const SearchOptions& options,
+    const sweep::SweepOptions& sweep_options, sweep::SweepStats* stats) {
   DA_EXPECTS(config.valid());
   const int max_f = options.max_f < 0 ? config.u : options.max_f;
   const auto family = standard_family(options.seed);
   const DegradableAgreement protocol(config);
-  Rng rng(mix64(options.seed, 0xda));
 
-  std::optional<Violation> found;
-  const auto try_scenario = [&](const ScenarioSpec& spec) -> bool {
+  // Flatten the serial scan order: sender-major, fault count ascending,
+  // exhaustive subsets (lexicographic) before the random probes.
+  std::vector<NodeId> senders{0};
+  if (options.all_senders) {
+    senders.clear();
+    for (NodeId s = 0; s < config.n; ++s) senders.push_back(s);
+  }
+  std::vector<ScenarioEntry> entries;
+  for (NodeId sender : senders) {
+    for (int f = 0; f <= max_f; ++f) {
+      for_each_subset(config.n, f, [&](const std::vector<NodeId>& faulty) {
+        ScenarioEntry entry;
+        entry.spec.config = config;
+        entry.spec.sender = sender;
+        entry.spec.sender_value = Value::of(7);
+        entry.spec.faulty = faulty;
+        entries.push_back(std::move(entry));
+      });
+      for (int t = 0; t < options.random_trials; ++t) {
+        ScenarioEntry entry;
+        entry.random = true;
+        entry.sender = sender;
+        entry.f = f;
+        entries.push_back(std::move(entry));
+      }
+    }
+  }
+
+  const sweep::ShardPlan plan =
+      sweep::ShardPlan::even(entries.size(), kScenariosPerShard);
+  std::vector<std::optional<Violation>> candidates(plan.shard_count());
+  const auto visitor = [&](std::uint64_t ordinal, std::size_t shard,
+                           Rng&) -> sweep::Visit {
+    const ScenarioEntry& entry = entries[ordinal];
+    ScenarioSpec spec = entry.spec;
+    if (entry.random) {
+      Rng trial_rng(mix64(mix64(options.seed, 0xda), ordinal));
+      spec.config = config;
+      spec.sender = entry.sender;
+      spec.sender_value = Value::of(trial_rng.range(1, 100));
+      const std::vector<int> subset = trial_rng.subset(config.n, entry.f);
+      spec.faulty.assign(subset.begin(), subset.end());
+    }
+    sweep::Visit visit;
+    visit.executions = 0;
     for (const auto& factory : family) {
       if (spec.f() == 0 && factory.name != "silent") {
         // With no faulty nodes every adversary is a no-op; run once.
         continue;
       }
       auto adversary = factory.make(spec);
+      ++visit.executions;
       const ConditionReport report =
           protocol.run_and_check(spec, adversary.get());
       if (!report.satisfied) {
-        found = Violation{spec, factory.name, report};
-        return true;
+        candidates[shard] = Violation{spec, factory.name, report};
+        visit.hit = true;
+        break;
       }
     }
-    return false;
+    return visit;
   };
 
-  std::vector<NodeId> senders{0};
-  if (options.all_senders) {
-    senders.clear();
-    for (NodeId s = 0; s < config.n; ++s) senders.push_back(s);
-  }
+  const sweep::SweepResult result =
+      sweep::run_sweep(plan, sweep_options, visitor);
+  if (stats != nullptr) *stats = result.stats;
+  if (!result.first_hit_shard.has_value()) return std::nullopt;
+  return candidates[*result.first_hit_shard];
+}
 
-  for (NodeId sender : senders) {
-    for (int f = 0; f <= max_f; ++f) {
-      bool stop = false;
-      for_each_subset(config.n, f, [&](const std::vector<NodeId>& faulty) {
-        if (stop) return;
-        ScenarioSpec spec;
-        spec.config = config;
-        spec.sender = sender;
-        spec.sender_value = Value::of(7);
-        spec.faulty = faulty;
-        if (try_scenario(spec)) stop = true;
-      });
-      if (stop) return found;
-      for (int t = 0; t < options.random_trials; ++t) {
-        ScenarioSpec spec;
-        spec.config = config;
-        spec.sender = sender;
-        spec.sender_value = Value::of(rng.range(1, 100));
-        const std::vector<int> subset = rng.subset(config.n, f);
-        spec.faulty.assign(subset.begin(), subset.end());
-        if (try_scenario(spec)) return found;
-      }
-    }
-  }
-  return found;
+std::optional<Violation> search_violation(const Config& config,
+                                          const SearchOptions& options) {
+  return search_violation(config, options, sweep::SweepOptions{});
 }
 
 }  // namespace da::faults

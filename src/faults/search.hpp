@@ -9,6 +9,7 @@
 #include "core/checker.hpp"
 #include "core/scenario.hpp"
 #include "sim/adversary.hpp"
+#include "sweep/sweep.hpp"
 
 namespace da::faults {
 
@@ -53,6 +54,19 @@ struct SearchOptions {
 /// when config.feasible().
 [[nodiscard]] std::optional<Violation> search_violation(
     const Config& config, const SearchOptions& options = {});
+
+/// Parallel form: the same search run through the scenario-sweep engine
+/// (src/sweep/) — scenarios are sharded deterministically in serial scan
+/// order (sender, then fault count, then subset lexicographic, then the
+/// random probes) and scanned by a work-stealing pool with early-exit
+/// cancellation. The verdict and the canonical execution count in
+/// `stats->executions` are identical for every `sweep_options.jobs`
+/// value. Random probes derive their spec from mix64(seed, ordinal), so
+/// they too are thread-count independent.
+[[nodiscard]] std::optional<Violation> search_violation(
+    const Config& config, const SearchOptions& options,
+    const sweep::SweepOptions& sweep_options,
+    sweep::SweepStats* stats = nullptr);
 
 /// Total number of protocol executions `search_violation` would perform
 /// (for reporting).

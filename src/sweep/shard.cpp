@@ -1,0 +1,54 @@
+#include "sweep/shard.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace da::sweep {
+
+namespace {
+
+std::uint64_t pow4(std::uint64_t digits) {
+  DA_EXPECTS(digits <= 31);  // 4^32 overflows uint64
+  return std::uint64_t{1} << (2 * digits);
+}
+
+}  // namespace
+
+std::uint64_t ShardPlan::append_pow4(std::uint64_t slots,
+                                     std::uint64_t target_block) {
+  const std::uint64_t base = total_;
+  const std::uint64_t segment = pow4(slots);
+  if (target_block < 1) target_block = 1;
+  // Largest power of four <= target_block, capped at the segment size.
+  std::uint64_t block_digits = 0;
+  while (block_digits < slots && pow4(block_digits + 1) <= target_block) {
+    ++block_digits;
+  }
+  const std::uint64_t block = pow4(block_digits);
+  for (std::uint64_t off = 0; off < segment; off += block) {
+    shards_.push_back({base + off, base + off + block});
+  }
+  total_ += segment;
+  return base;
+}
+
+std::uint64_t ShardPlan::append_even(std::uint64_t count,
+                                     std::uint64_t target_block) {
+  const std::uint64_t base = total_;
+  if (target_block < 1) target_block = 1;
+  for (std::uint64_t off = 0; off < count; off += target_block) {
+    const std::uint64_t len = std::min(target_block, count - off);
+    shards_.push_back({base + off, base + off + len});
+  }
+  total_ += count;
+  return base;
+}
+
+ShardPlan ShardPlan::even(std::uint64_t total, std::uint64_t target_block) {
+  ShardPlan plan;
+  plan.append_even(total, target_block);
+  return plan;
+}
+
+}  // namespace da::sweep

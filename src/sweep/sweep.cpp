@@ -1,0 +1,108 @@
+#include "sweep/sweep.hpp"
+
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "sweep/thread_pool.hpp"
+#include "util/contracts.hpp"
+
+namespace da::sweep {
+
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+SweepResult run_sweep(const ShardPlan& plan, const SweepOptions& options,
+                      const Visitor& visitor) {
+  DA_EXPECTS(static_cast<bool>(visitor));
+  using Clock = std::chrono::steady_clock;
+  const auto sweep_start = Clock::now();
+  const int jobs = resolve_jobs(options.jobs);
+
+  SweepResult result;
+  result.stats.jobs = jobs;
+  result.stats.shards = plan.shard_count();
+  result.stats.per_shard.resize(plan.shard_count());
+
+  Canceller canceller;
+  {
+    ThreadPool pool(jobs);
+    for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+      pool.submit([&, s] {
+        const ShardRange range = plan.shard(s);
+        ShardStats& stats = result.stats.per_shard[s];
+        stats.begin = range.begin;
+        stats.end = range.end;
+        if (canceller.cancelled(range.begin)) return;  // stats.worker = -1
+        stats.worker = pool.current_worker();
+        const auto start = Clock::now();
+        Rng rng(mix64(options.seed, range.begin));
+        for (std::uint64_t o = range.begin; o < range.end; ++o) {
+          if (canceller.cancelled(o)) break;
+          const Visit visit = visitor(o, s, rng);
+          stats.executions += visit.executions;
+          if (visit.hit) {
+            ++stats.violations;
+            canceller.report(o);
+            break;  // ascending scan: this is the shard's first hit
+          }
+        }
+        stats.wall_ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - start)
+                            .count();
+      });
+    }
+    pool.wait_idle();
+  }
+
+  // Aggregate. The winner is the shard holding the best (minimum) hit
+  // ordinal; every shard before it ran to completion (cancellation only
+  // fires for ordinals after a known hit), so summing executed counts up
+  // to and including the winner yields the canonical serial-early-exit
+  // execution count.
+  const std::uint64_t best = canceller.best();
+  std::size_t winner = plan.shard_count();
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    const ShardStats& stats = result.stats.per_shard[s];
+    result.stats.performed += stats.executions;
+    result.stats.violations += stats.violations;
+    if (winner == plan.shard_count() && best != Canceller::kNone &&
+        best >= plan.shard(s).begin && best < plan.shard(s).end) {
+      winner = s;
+    }
+  }
+  if (best != Canceller::kNone) {
+    DA_ENSURES(winner < plan.shard_count());
+    result.first_hit = best;
+    result.first_hit_shard = winner;
+    for (std::size_t s = 0; s <= winner; ++s) {
+      result.stats.executions += result.stats.per_shard[s].executions;
+    }
+  } else {
+    result.stats.executions = result.stats.performed;
+  }
+  result.stats.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - sweep_start)
+          .count();
+  return result;
+}
+
+std::vector<WorkerSummary> summarize_workers(const SweepStats& stats) {
+  std::map<int, WorkerSummary> by_worker;
+  for (const ShardStats& shard : stats.per_shard) {
+    WorkerSummary& summary = by_worker[shard.worker];
+    summary.worker = shard.worker;
+    ++summary.shards;
+    summary.executions += shard.executions;
+    summary.busy_ms += shard.wall_ms;
+  }
+  std::vector<WorkerSummary> out;
+  out.reserve(by_worker.size());
+  for (const auto& [worker, summary] : by_worker) out.push_back(summary);
+  return out;
+}
+
+}  // namespace da::sweep

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "sweep/shard.hpp"
+#include "util/rng.hpp"
+
+namespace da::sweep {
+
+/// Knobs for one parallel sweep.
+struct SweepOptions {
+  /// Worker threads; <= 0 means std::thread::hardware_concurrency().
+  int jobs = 1;
+  /// Base seed for the per-shard RNG streams (shard s receives
+  /// Rng(mix64(seed, s.begin)) — a pure function of the plan, so streams
+  /// are identical for every jobs value).
+  std::uint64_t seed = 1;
+};
+
+/// Per-shard counters, in shard (= ordinal) order.
+struct ShardStats {
+  std::uint64_t begin = 0;       // first global ordinal of the shard
+  std::uint64_t end = 0;         // one past the last
+  std::uint64_t executions = 0;  // protocol executions actually performed
+  std::uint64_t violations = 0;  // hits reported by the visitor
+  double wall_ms = 0.0;          // wall time spent scanning this shard
+  int worker = -1;               // pool worker that ran it (-1: skipped)
+};
+
+/// Whole-sweep counters.
+struct SweepStats {
+  /// Canonical execution count: the number of protocol executions a
+  /// serial early-exit scan of the same plan would perform — i.e. all
+  /// executions at ordinals <= the first violation (or the whole space
+  /// when there is none). Identical for every jobs value.
+  std::uint64_t executions = 0;
+  /// Executions actually performed, including speculative work by shards
+  /// that were later cancelled. >= executions; depends on scheduling.
+  std::uint64_t performed = 0;
+  std::uint64_t violations = 0;  // total hits seen (all shards)
+  std::uint64_t shards = 0;
+  int jobs = 1;
+  double wall_ms = 0.0;  // end-to-end sweep wall time
+  std::vector<ShardStats> per_shard;
+};
+
+/// Early-exit state shared by all shards of one sweep: the smallest hit
+/// ordinal seen so far. A shard stops as soon as the best known hit
+/// precedes its next ordinal — nothing it could still find would be the
+/// sweep's first hit. Shards that precede the best hit are never
+/// cancelled (they may still find an earlier one), which is exactly what
+/// makes the canonical execution count deterministic.
+class Canceller {
+ public:
+  static constexpr std::uint64_t kNone =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// True if a hit strictly before `ordinal` is already known.
+  [[nodiscard]] bool cancelled(std::uint64_t ordinal) const {
+    return best_.load(std::memory_order_relaxed) < ordinal;
+  }
+
+  /// Records a hit; keeps the minimum ordinal.
+  void report(std::uint64_t ordinal) {
+    std::uint64_t cur = best_.load(std::memory_order_relaxed);
+    while (ordinal < cur &&
+           !best_.compare_exchange_weak(cur, ordinal,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t best() const {
+    return best_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> best_{kNone};
+};
+
+/// The visitor executes the scenario at one global ordinal and reports
+/// whether it was a violation ("hit"). `shard` is the shard's index in
+/// the plan (stash per-shard payloads there — each shard is scanned by
+/// exactly one worker, so a slot per shard needs no locking); `rng` is
+/// the shard's private deterministic stream.
+struct Visit {
+  bool hit = false;
+  /// Protocol executions this ordinal cost (family search runs a whole
+  /// adversary family per scenario ordinal).
+  std::uint64_t executions = 1;
+};
+using Visitor =
+    std::function<Visit(std::uint64_t ordinal, std::size_t shard, Rng& rng)>;
+
+struct SweepResult {
+  /// Smallest hit ordinal, or nullopt if no visitor reported a hit.
+  std::optional<std::uint64_t> first_hit;
+  /// Plan index of the shard containing first_hit.
+  std::optional<std::size_t> first_hit_shard;
+  SweepStats stats;
+};
+
+/// Runs the visitor over every ordinal of `plan` on a work-stealing pool,
+/// early-exiting once the first (by ordinal) hit is settled.
+///
+/// Deterministic contract, for any jobs >= 1: `first_hit`,
+/// `first_hit_shard` and `stats.executions` are identical; only
+/// `stats.performed`, per-shard wall times and worker assignments vary.
+[[nodiscard]] SweepResult run_sweep(const ShardPlan& plan,
+                                    const SweepOptions& options,
+                                    const Visitor& visitor);
+
+/// Resolved job count: `jobs` if positive, else hardware concurrency.
+[[nodiscard]] int resolve_jobs(int jobs);
+
+/// Per-worker rollup of the per-shard counters, for scaling reports:
+/// how many shards each pool worker scanned, how many protocol
+/// executions that cost, and how long the worker was busy. Skipped
+/// (cancelled-before-start) shards are reported under worker -1.
+struct WorkerSummary {
+  int worker = -1;
+  std::uint64_t shards = 0;
+  std::uint64_t executions = 0;
+  double busy_ms = 0.0;
+};
+[[nodiscard]] std::vector<WorkerSummary> summarize_workers(
+    const SweepStats& stats);
+
+}  // namespace da::sweep

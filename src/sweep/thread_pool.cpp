@@ -1,0 +1,116 @@
+#include "sweep/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace da::sweep {
+
+namespace {
+
+/// Which pool (if any) the current thread is a worker of, and its index.
+/// Plain thread_locals: a worker belongs to exactly one pool for its
+/// whole lifetime.
+thread_local const ThreadPool* t_pool = nullptr;
+thread_local int t_worker = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const std::size_t count = static_cast<std::size_t>(std::max(1, threads));
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+int ThreadPool::current_worker() const {
+  return t_pool == this ? t_worker : -1;
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+    // A worker submitting keeps its task local; external submitters deal
+    // round-robin.
+    const int self = current_worker();
+    target = self >= 0 ? static_cast<std::size_t>(self)
+                       : next_++ % workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t index, std::function<void()>& task) {
+  Worker& w = *workers_[index];
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (w.queue.empty()) return false;
+  task = std::move(w.queue.front());
+  w.queue.pop_front();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t thief, std::function<void()>& task) {
+  const std::size_t n = workers_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    Worker& victim = *workers_[(thief + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.queue.empty()) continue;
+    task = std::move(victim.queue.back());
+    victim.queue.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  t_pool = this;
+  t_worker = static_cast<int>(index);
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(index, task) || try_steal(index, task)) {
+      task();
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      if (pending_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) return;
+    // Re-check queues under no lock inversion: cheap spurious wakeups are
+    // fine; missed notifies are not, so wait with a predicate re-probe.
+    work_cv_.wait(lock, [this, index] {
+      if (stop_) return true;
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        std::lock_guard<std::mutex> qlock(workers_[i]->mu);
+        if (!workers_[i]->queue.empty()) return true;
+      }
+      return false;
+    });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace da::sweep

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace da::sweep {
+
+/// A small work-stealing thread pool.
+///
+/// Each worker owns a deque; `submit` deals tasks round-robin across the
+/// deques, a worker pops from the front of its own deque and, when empty,
+/// steals from the *back* of a sibling's. Stealing keeps all cores busy
+/// when shard costs are skewed (behaviour shards containing a violation
+/// exit early; subsets with a faulty sender have 4x the work of the rest).
+///
+/// The pool makes no ordering promises — determinism of sweep results is
+/// the shard plan's job, not the scheduler's (see sweep.hpp).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains nothing: outstanding tasks are completed before destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Thread-safe; may be called from worker threads
+  /// (the task lands on the submitting worker's own deque in that case).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void wait_idle();
+
+  [[nodiscard]] int threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Index of the calling worker thread within this pool, or -1 when
+  /// called from a non-worker thread.
+  [[nodiscard]] int current_worker() const;
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> queue;
+  };
+
+  void worker_loop(std::size_t index);
+  bool try_pop(std::size_t index, std::function<void()>& task);
+  bool try_steal(std::size_t thief, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;                  // guards cv waits + counters below
+  std::condition_variable work_cv_;   // "a task was submitted / stop"
+  std::condition_variable idle_cv_;   // "a task finished"
+  std::size_t pending_ = 0;        // submitted but not yet finished
+  std::size_t next_ = 0;           // round-robin submit cursor
+  bool stop_ = false;
+};
+
+}  // namespace da::sweep

@@ -1,4 +1,7 @@
-// Randomized differential fuzzing across the whole stack:
+// Randomized differential fuzzing across the whole stack, driven by the
+// parallel scenario-sweep engine (src/sweep/): each fuzz iteration is one
+// sweep ordinal whose scenario is a pure function of (seed, ordinal), so
+// the exact same draws are replayed for any --jobs value.
 //
 //  1. random depth-2 behaviour tables (the adversary-complete alphabet,
 //     sampled instead of enumerated) against random feasible configs —
@@ -11,12 +14,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 #include "core/agreement.hpp"
 #include "core/byz.hpp"
 #include "event/event_runner.hpp"
 #include "faults/adversaries.hpp"
 #include "rt/threaded_runner.hpp"
+#include "sweep/sweep.hpp"
 #include "util/rng.hpp"
 
 namespace da {
@@ -115,67 +120,104 @@ Config random_feasible_config(Rng& rng) {
   return Config{.n = 2 * m + u + 1 + slack, .m = m, .u = u};
 }
 
-TEST(Fuzz, RandomBehavioursNeverViolateConditions) {
-  Rng rng(0xF00D);
-  for (int iter = 0; iter < 120; ++iter) {
-    const Config config = random_feasible_config(rng);
-    if (config.n > 10) continue;  // keep message volume sane
-    const DegradableAgreement protocol(config);
+/// Draws the scenario for one fuzz ordinal. The stream is derived from
+/// (seed, ordinal) alone, so a parallel sweep replays exactly the serial
+/// draws no matter how shards land on workers.
+struct FuzzDraw {
+  ScenarioSpec spec;
+  std::uint64_t behaviour_seed = 0;
+  bool skipped = false;
+};
 
-    ScenarioSpec spec;
-    spec.config = config;
-    spec.sender =
-        static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(config.n)));
-    spec.sender_value = Value::of(rng.range(1, 1000));
-    const int f = static_cast<int>(rng.below(
-        static_cast<std::uint64_t>(config.u) + 1));
-    const auto subset = rng.subset(config.n, f);
-    spec.faulty.assign(subset.begin(), subset.end());
-
-    RandomTableAdversary adversary(rng.next(), spec.sender_value);
-    const ConditionReport report = protocol.run_and_check(spec, &adversary);
-    ASSERT_TRUE(report.satisfied)
-        << "iter " << iter << ": " << spec.to_string() << " -> "
-        << report.detail;
-    ASSERT_TRUE(report.corollary_m_plus_1) << spec.to_string();
+FuzzDraw draw_scenario(std::uint64_t seed, std::uint64_t ordinal, int max_n) {
+  Rng rng(mix64(seed, ordinal));
+  FuzzDraw draw;
+  const Config config = random_feasible_config(rng);
+  if (config.n > max_n) {  // keep message volume sane
+    draw.skipped = true;
+    return draw;
   }
+  draw.spec.config = config;
+  draw.spec.sender =
+      static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(config.n)));
+  draw.spec.sender_value = Value::of(rng.range(1, 1000));
+  const int f = static_cast<int>(rng.below(
+      static_cast<std::uint64_t>(config.u) + 1));
+  const auto subset = rng.subset(config.n, f);
+  draw.spec.faulty.assign(subset.begin(), subset.end());
+  draw.behaviour_seed = rng.next();
+  return draw;
+}
+
+TEST(Fuzz, RandomBehavioursNeverViolateConditions) {
+  constexpr std::uint64_t kIterations = 120;
+  const sweep::ShardPlan plan = sweep::ShardPlan::even(kIterations, 8);
+  std::vector<std::string> failures(plan.shard_count());
+  sweep::SweepOptions options;
+  options.jobs = 2;
+  const auto result = sweep::run_sweep(
+      plan, options,
+      [&](std::uint64_t ordinal, std::size_t shard, Rng&) -> sweep::Visit {
+        FuzzDraw draw = draw_scenario(0xF00D, ordinal, 10);
+        if (draw.skipped) return {.hit = false, .executions = 0};
+        const DegradableAgreement protocol(draw.spec.config);
+        RandomTableAdversary adversary(draw.behaviour_seed,
+                                       draw.spec.sender_value);
+        const ConditionReport report =
+            protocol.run_and_check(draw.spec, &adversary);
+        if (!report.satisfied || !report.corollary_m_plus_1) {
+          failures[shard] = "iter " + std::to_string(ordinal) + ": " +
+                            draw.spec.to_string() + " -> " + report.detail;
+          return {.hit = true};
+        }
+        return {};
+      });
+  EXPECT_FALSE(result.first_hit.has_value())
+      << failures[*result.first_hit_shard];
+  EXPECT_GT(result.stats.executions, kIterations / 2);  // few skips
 }
 
 TEST(Fuzz, RandomBehavioursMatchAcrossRuntimes) {
-  Rng rng(0xBEEF);
-  for (int iter = 0; iter < 25; ++iter) {
-    const Config config = random_feasible_config(rng);
-    if (config.n > 9) continue;
-    const DegradableAgreement protocol(config);
+  constexpr std::uint64_t kIterations = 25;
+  const sweep::ShardPlan plan = sweep::ShardPlan::even(kIterations, 4);
+  std::vector<std::string> failures(plan.shard_count());
+  sweep::SweepOptions options;
+  options.jobs = 2;
+  const auto result = sweep::run_sweep(
+      plan, options,
+      [&](std::uint64_t ordinal, std::size_t shard, Rng&) -> sweep::Visit {
+        FuzzDraw draw = draw_scenario(0xBEEF, ordinal, 9);
+        if (draw.skipped) return {.hit = false, .executions = 0};
+        const ScenarioSpec& spec = draw.spec;
+        const DegradableAgreement protocol(spec.config);
 
-    ScenarioSpec spec;
-    spec.config = config;
-    spec.sender = 0;
-    spec.sender_value = Value::of(rng.range(1, 1000));
-    const int f = static_cast<int>(rng.below(
-        static_cast<std::uint64_t>(config.u) + 1));
-    const auto subset = rng.subset(config.n, f);
-    spec.faulty.assign(subset.begin(), subset.end());
-    const std::uint64_t behaviour_seed = rng.next();
+        RandomTableAdversary a1(draw.behaviour_seed, spec.sender_value);
+        const Outcome sim_out = protocol.run(spec, &a1);
 
-    RandomTableAdversary a1(behaviour_seed, spec.sender_value);
-    const Outcome sim_out = protocol.run(spec, &a1);
+        RandomTableAdversary a2(draw.behaviour_seed, spec.sender_value);
+        const Outcome thr_out = protocol.run_threaded(spec, &a2);
+        if (sim_out.decisions != thr_out.decisions) {
+          failures[shard] = "threaded mismatch: " + spec.to_string();
+          return {.hit = true};
+        }
 
-    RandomTableAdversary a2(behaviour_seed, spec.sender_value);
-    const Outcome thr_out = protocol.run_threaded(spec, &a2);
-    ASSERT_EQ(sim_out.decisions, thr_out.decisions) << spec.to_string();
-
-    RandomTableAdversary a3(behaviour_seed, spec.sender_value);
-    sim::RunOptions options;
-    options.faulty = spec.faulty;
-    options.adversary = &a3;
-    event::EventRunner event_runner(
-        core::make_byz_processes(config, spec.sender, spec.sender_value),
-        std::move(options), event::TimingModel{},
-        event::perfect_clocks(config.n));
-    ASSERT_EQ(sim_out.decisions, event_runner.run().base.decisions)
-        << spec.to_string();
-  }
+        RandomTableAdversary a3(draw.behaviour_seed, spec.sender_value);
+        sim::RunOptions run_options;
+        run_options.faulty = spec.faulty;
+        run_options.adversary = &a3;
+        event::EventRunner event_runner(
+            core::make_byz_processes(spec.config, spec.sender,
+                                     spec.sender_value),
+            std::move(run_options), event::TimingModel{},
+            event::perfect_clocks(spec.config.n));
+        if (sim_out.decisions != event_runner.run().base.decisions) {
+          failures[shard] = "event mismatch: " + spec.to_string();
+          return {.hit = true};
+        }
+        return {};
+      });
+  EXPECT_FALSE(result.first_hit.has_value())
+      << failures[*result.first_hit_shard];
 }
 
 TEST(Fuzz, GarbageStormsAreHarmless) {

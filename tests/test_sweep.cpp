@@ -1,0 +1,312 @@
+// The parallel scenario-sweep engine (src/sweep/): thread pool, shard
+// plans, first-hit-by-ordinal semantics, early-exit cancellation, and the
+// cross-thread-count determinism contract the faults/ searches rely on —
+// same seed + any --jobs value => identical violation verdict and
+// identical canonical execution count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "faults/behavior_search.hpp"
+#include "faults/search.hpp"
+#include "sweep/shard.hpp"
+#include "sweep/sweep.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace da::sweep {
+namespace {
+
+// ---------------------------------------------------------------- pool --
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WorkerSubmittedTasksAlsoRun) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&pool, &count] {
+      // Fan out from inside a worker: exercises the local-deque path and
+      // stealing by the other workers.
+      for (int j = 0; j < 5; ++j) {
+        pool.submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, CurrentWorkerIsSetInsideAndNotOutside) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.current_worker(), -1);
+  std::atomic<bool> ok{false};
+  pool.submit([&] {
+    const int w = pool.current_worker();
+    ok = (w == 0 || w == 1);
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPool, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 1);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+// ---------------------------------------------------------------- plan --
+
+TEST(ShardPlan, EvenPartitionCoversSpaceExactly) {
+  const ShardPlan plan = ShardPlan::even(103, 10);
+  EXPECT_EQ(plan.total(), 103u);
+  EXPECT_EQ(plan.shard_count(), 11u);
+  std::uint64_t expected_begin = 0;
+  for (const ShardRange& r : plan.shards()) {
+    EXPECT_EQ(r.begin, expected_begin);
+    EXPECT_LE(r.size(), 10u);
+    expected_begin = r.end;
+  }
+  EXPECT_EQ(expected_begin, 103u);
+}
+
+TEST(ShardPlan, Pow4SegmentsSplitAtHighOrderDigitBoundaries) {
+  ShardPlan plan;
+  // 4^5 = 1024 ordinals, blocks of at most 4^2: expect 4^3 = 64 blocks of
+  // 16 — every block holds the behaviours sharing 3 leading 4-ary digits.
+  plan.append_pow4(5, 16);
+  EXPECT_EQ(plan.total(), 1024u);
+  EXPECT_EQ(plan.shard_count(), 64u);
+  for (std::size_t i = 0; i < plan.shard_count(); ++i) {
+    EXPECT_EQ(plan.shard(i).size(), 16u);
+    EXPECT_EQ(plan.shard(i).begin % 16, 0u);  // digit-aligned
+  }
+}
+
+TEST(ShardPlan, Pow4BlockIsLargestPowerOfFourBelowTarget) {
+  ShardPlan plan;
+  plan.append_pow4(4, 100);  // 4^3 = 64 <= 100 < 256 = 4^4
+  EXPECT_EQ(plan.shard_count(), 4u);
+  EXPECT_EQ(plan.shard(0).size(), 64u);
+}
+
+TEST(ShardPlan, MixedSegmentsConcatenate) {
+  ShardPlan plan;
+  const std::uint64_t base0 = plan.append_pow4(2);   // 16 ordinals
+  const std::uint64_t base1 = plan.append_even(5, 2);
+  EXPECT_EQ(base0, 0u);
+  EXPECT_EQ(base1, 16u);
+  EXPECT_EQ(plan.total(), 21u);
+}
+
+// -------------------------------------------------------------- engine --
+
+TEST(RunSweep, VisitsEveryOrdinalWhenNothingHits) {
+  const ShardPlan plan = ShardPlan::even(257, 16);
+  std::vector<std::atomic<int>> seen(257);
+  SweepOptions options;
+  options.jobs = 4;
+  const auto result = run_sweep(
+      plan, options, [&](std::uint64_t o, std::size_t, Rng&) -> Visit {
+        seen[o].fetch_add(1);
+        return {};
+      });
+  EXPECT_FALSE(result.first_hit.has_value());
+  EXPECT_EQ(result.stats.executions, 257u);
+  EXPECT_EQ(result.stats.performed, 257u);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(RunSweep, FirstHitIsSmallestOrdinalNotFastestWallClock) {
+  // Hits at ordinals 400 (cheap shard, found quickly) and 37 (slow
+  // shard). The sweep must settle on 37 regardless of timing.
+  const ShardPlan plan = ShardPlan::even(512, 32);
+  SweepOptions options;
+  options.jobs = 4;
+  const auto result = run_sweep(
+      plan, options, [&](std::uint64_t o, std::size_t, Rng&) -> Visit {
+        if (o == 37) {
+          // Make the early shard slow so the later hit lands first in
+          // wall-clock order on multi-core machines.
+          for (volatile int spin = 0; spin < 200000; spin = spin + 1) {
+          }
+          return {.hit = true};
+        }
+        return {.hit = o == 400};
+      });
+  ASSERT_TRUE(result.first_hit.has_value());
+  EXPECT_EQ(*result.first_hit, 37u);
+  EXPECT_EQ(plan.shard(*result.first_hit_shard).begin, 32u);
+}
+
+TEST(RunSweep, CanonicalExecutionsCountSerialEarlyExitPrefix) {
+  const ShardPlan plan = ShardPlan::even(1000, 10);
+  for (int jobs : {1, 3, 8}) {
+    SweepOptions options;
+    options.jobs = jobs;
+    const auto result = run_sweep(
+        plan, options, [&](std::uint64_t o, std::size_t, Rng&) -> Visit {
+          return {.hit = o == 321};
+        });
+    ASSERT_TRUE(result.first_hit.has_value()) << jobs;
+    EXPECT_EQ(*result.first_hit, 321u) << jobs;
+    // A serial early-exit scan executes ordinals 0..321 inclusive.
+    EXPECT_EQ(result.stats.executions, 322u) << jobs;
+    EXPECT_GE(result.stats.performed, result.stats.executions) << jobs;
+  }
+}
+
+TEST(RunSweep, PerShardRngStreamsAreIdenticalAcrossJobCounts) {
+  const ShardPlan plan = ShardPlan::even(64, 8);
+  std::vector<std::uint64_t> draws_1(plan.shard_count());
+  std::vector<std::uint64_t> draws_4(plan.shard_count());
+  for (auto* draws : {&draws_1, &draws_4}) {
+    SweepOptions options;
+    options.jobs = draws == &draws_1 ? 1 : 4;
+    options.seed = 99;
+    (void)run_sweep(plan, options,
+                    [&](std::uint64_t o, std::size_t shard, Rng& rng) -> Visit {
+                      if (o == plan.shard(shard).begin) {
+                        (*draws)[shard] = rng.next();
+                      }
+                      return {};
+                    });
+  }
+  EXPECT_EQ(draws_1, draws_4);
+}
+
+TEST(RunSweep, PerShardStatsPartitionTheWork) {
+  const ShardPlan plan = ShardPlan::even(100, 7);
+  SweepOptions options;
+  options.jobs = 2;
+  const auto result = run_sweep(
+      plan, options,
+      [&](std::uint64_t, std::size_t, Rng&) -> Visit { return {}; });
+  ASSERT_EQ(result.stats.per_shard.size(), plan.shard_count());
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    const ShardStats& stats = result.stats.per_shard[s];
+    EXPECT_EQ(stats.begin, plan.shard(s).begin);
+    EXPECT_EQ(stats.executions, plan.shard(s).size());
+    EXPECT_GE(stats.worker, 0);
+    EXPECT_LT(stats.worker, 2);
+    sum += stats.executions;
+  }
+  EXPECT_EQ(sum, result.stats.performed);
+}
+
+// ------------------------------------------- ported faults/ searches ----
+
+/// The determinism contract the satellites ask for: same seed, different
+/// --jobs => identical violation verdict AND identical canonical
+/// execution count.
+TEST(SweepDeterminism, BehaviourSearchVerdictAndCountMatchAcrossJobs) {
+  const Config broken{.n = 4, .m = 1, .u = 2};  // Figure 2: must violate
+  const Config solid{.n = 4, .m = 1, .u = 1};   // Lamport minimal: must not
+
+  std::optional<std::string> reference_hit;
+  std::optional<std::uint64_t> reference_count;
+  for (int jobs : {1, 2, 5}) {
+    SweepOptions options;
+    options.jobs = jobs;
+    SweepStats stats;
+    const auto violation =
+        faults::exhaustive_behavior_search(broken, -1, options, &stats);
+    ASSERT_TRUE(violation.has_value()) << jobs;
+    const std::string hit =
+        violation->spec.to_string() + " / " + violation->adversary;
+    if (!reference_hit.has_value()) {
+      reference_hit = hit;
+      reference_count = stats.executions;
+    }
+    EXPECT_EQ(hit, *reference_hit) << jobs;
+    EXPECT_EQ(stats.executions, *reference_count) << jobs;
+    EXPECT_GE(stats.performed, stats.executions) << jobs;
+  }
+
+  for (int jobs : {1, 3}) {
+    SweepOptions options;
+    options.jobs = jobs;
+    SweepStats stats;
+    EXPECT_FALSE(
+        faults::exhaustive_behavior_search(solid, -1, options, &stats)
+            .has_value())
+        << jobs;
+    // No violation: the canonical count is the whole behaviour space.
+    EXPECT_EQ(stats.executions, faults::behavior_search_space(solid))
+        << jobs;
+  }
+}
+
+TEST(SweepDeterminism, FamilySearchVerdictAndCountMatchAcrossJobs) {
+  const Config infeasible{.n = 4, .m = 1, .u = 2};
+  faults::SearchOptions search;
+  search.seed = 11;
+  search.all_senders = true;
+  search.random_trials = 3;
+
+  std::optional<std::string> reference_hit;
+  std::optional<std::uint64_t> reference_count;
+  for (int jobs : {1, 2, 4}) {
+    SweepOptions options;
+    options.jobs = jobs;
+    SweepStats stats;
+    const auto violation =
+        faults::search_violation(infeasible, search, options, &stats);
+    ASSERT_TRUE(violation.has_value()) << jobs;
+    const std::string hit =
+        violation->spec.to_string() + " / " + violation->adversary;
+    if (!reference_hit.has_value()) {
+      reference_hit = hit;
+      reference_count = stats.executions;
+    }
+    EXPECT_EQ(hit, *reference_hit) << jobs;
+    EXPECT_EQ(stats.executions, *reference_count) << jobs;
+  }
+}
+
+TEST(SweepDeterminism, FamilySearchFeasibleStaysCleanInParallel) {
+  const Config feasible{.n = 5, .m = 1, .u = 2};
+  faults::SearchOptions search;
+  search.seed = 7;
+  SweepOptions options;
+  options.jobs = 3;
+  SweepStats stats;
+  EXPECT_FALSE(faults::search_violation(feasible, search, options, &stats)
+                   .has_value());
+  // Nothing hit => canonical count equals performed count equals the
+  // full family-search space.
+  EXPECT_EQ(stats.executions, stats.performed);
+  EXPECT_GT(stats.executions, 0u);
+}
+
+TEST(SweepDeterminism, ParallelBehaviourSearchAgreesWithSerialWrapper) {
+  const Config config{.n = 4, .m = 1, .u = 2};
+  const auto serial = faults::exhaustive_behavior_search(config);
+  SweepOptions options;
+  options.jobs = 4;
+  const auto parallel =
+      faults::exhaustive_behavior_search(config, -1, options);
+  ASSERT_TRUE(serial.has_value());
+  ASSERT_TRUE(parallel.has_value());
+  EXPECT_EQ(serial->spec.to_string(), parallel->spec.to_string());
+  EXPECT_EQ(serial->adversary, parallel->adversary);
+  EXPECT_EQ(serial->report.applied, parallel->report.applied);
+}
+
+}  // namespace
+}  // namespace da::sweep

@@ -1,0 +1,98 @@
+#!/bin/sh
+# docs-check: fail when the docs reference things that no longer exist.
+#
+# Wired into the test suite as the `docs_check` ctest entry. Checks, over
+# README.md and docs/*.md:
+#
+#   1. every backticked repo path (src/..., bench/..., tests/...,
+#      examples/..., docs/..., tools/...) exists (also trying the src/
+#      prefix, for include-style paths like `da/da.hpp`);
+#   2. every backticked `bench_*` / `test_*` name has a matching source
+#      file under bench/ or tests/;
+#   3. every backticked `build/examples/<name>` has examples/<name>.cpp;
+#   4. every example source is mentioned in README.md (no undocumented
+#      entry points);
+#   5. the README Quickstart fence is byte-identical to the code part of
+#      examples/readme_quickstart.cpp (so the snippet can never rot —
+#      it is compiled by the regular build).
+#
+# Usage: docs_check.sh [repo-root]   (defaults to the script's parent dir)
+
+set -u
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+cd "$root" || exit 2
+
+status=0
+fail() {
+  echo "docs-check: $1" >&2
+  status=1
+}
+
+docs="README.md"
+for f in docs/*.md; do
+  [ -e "$f" ] && docs="$docs $f"
+done
+
+# Every backticked token, one per line, with its source doc prefixed.
+tokens=$(
+  for doc in $docs; do
+    grep -o '`[^`]*`' "$doc" | sed -e 's/^`//' -e 's/`$//' \
+      -e "s|^|$doc:|"
+  done
+)
+
+echo "$tokens" | while IFS=: read -r doc tok; do
+  case $tok in
+    *'*'* | *' '* | '') continue ;;  # globs, phrases
+  esac
+  case $tok in
+    src/* | bench/* | tests/* | examples/* | docs/* | tools/*)
+      if [ ! -e "$tok" ] && [ ! -e "src/$tok" ]; then
+        echo "$doc: stale path \`$tok\`"
+      fi
+      ;;
+    build/examples/*)
+      name=${tok#build/examples/}
+      [ -e "examples/$name.cpp" ] || \
+        echo "$doc: stale example reference \`$tok\` (no examples/$name.cpp)"
+      ;;
+    bench_*)
+      [ -e "bench/$tok.cpp" ] || \
+        echo "$doc: stale bench name \`$tok\` (no bench/$tok.cpp)"
+      ;;
+    test_*)
+      [ -e "tests/$tok.cpp" ] || \
+        echo "$doc: stale test name \`$tok\` (no tests/$tok.cpp)"
+      ;;
+  esac
+done > /tmp/docs_check_stale.$$
+if [ -s /tmp/docs_check_stale.$$ ]; then
+  cat /tmp/docs_check_stale.$$ >&2
+  rm -f /tmp/docs_check_stale.$$
+  fail "stale references found"
+else
+  rm -f /tmp/docs_check_stale.$$
+fi
+
+# 4. Every example must be mentioned in the README.
+for src in examples/*.cpp; do
+  name=$(basename "$src" .cpp)
+  grep -q "$name" README.md || \
+    fail "examples/$name.cpp is not mentioned in README.md"
+done
+
+# 5. README Quickstart fence == examples/readme_quickstart.cpp body.
+awk '/^```cpp$/{grab=1; next} /^```$/{if (grab) exit} grab' README.md \
+  > /tmp/docs_check_readme.$$
+sed -n '/^#include/,$p' examples/readme_quickstart.cpp \
+  > /tmp/docs_check_example.$$
+if ! diff -u /tmp/docs_check_readme.$$ /tmp/docs_check_example.$$ \
+    > /tmp/docs_check_diff.$$ 2>&1; then
+  cat /tmp/docs_check_diff.$$ >&2
+  fail "README Quickstart snippet != examples/readme_quickstart.cpp"
+fi
+rm -f /tmp/docs_check_readme.$$ /tmp/docs_check_example.$$ \
+  /tmp/docs_check_diff.$$
+
+[ $status -eq 0 ] && echo "docs-check: OK"
+exit $status
