@@ -55,7 +55,13 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(workers_[target]->mu);
     workers_[target]->queue.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  // Notify under mu_: waiters evaluate their predicate (a scan of the
+  // queues) while holding mu_, so a notify outside it could land between
+  // a waiter's scan and its block, stranding the task (lost wakeup).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    work_cv_.notify_one();
+  }
 }
 
 bool ThreadPool::try_pop(std::size_t index, std::function<void()>& task) {

@@ -22,6 +22,9 @@ set -u
 root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
 cd "$root" || exit 2
 
+tmpdir=$(mktemp -d) || exit 2
+trap 'rm -rf "$tmpdir"' EXIT INT TERM
+
 status=0
 fail() {
   echo "docs-check: $1" >&2
@@ -65,13 +68,10 @@ echo "$tokens" | while IFS=: read -r doc tok; do
         echo "$doc: stale test name \`$tok\` (no tests/$tok.cpp)"
       ;;
   esac
-done > /tmp/docs_check_stale.$$
-if [ -s /tmp/docs_check_stale.$$ ]; then
-  cat /tmp/docs_check_stale.$$ >&2
-  rm -f /tmp/docs_check_stale.$$
+done > "$tmpdir/stale"
+if [ -s "$tmpdir/stale" ]; then
+  cat "$tmpdir/stale" >&2
   fail "stale references found"
-else
-  rm -f /tmp/docs_check_stale.$$
 fi
 
 # 4. Every example must be mentioned in the README.
@@ -83,16 +83,13 @@ done
 
 # 5. README Quickstart fence == examples/readme_quickstart.cpp body.
 awk '/^```cpp$/{grab=1; next} /^```$/{if (grab) exit} grab' README.md \
-  > /tmp/docs_check_readme.$$
+  > "$tmpdir/readme"
 sed -n '/^#include/,$p' examples/readme_quickstart.cpp \
-  > /tmp/docs_check_example.$$
-if ! diff -u /tmp/docs_check_readme.$$ /tmp/docs_check_example.$$ \
-    > /tmp/docs_check_diff.$$ 2>&1; then
-  cat /tmp/docs_check_diff.$$ >&2
+  > "$tmpdir/example"
+if ! diff -u "$tmpdir/readme" "$tmpdir/example" > "$tmpdir/diff" 2>&1; then
+  cat "$tmpdir/diff" >&2
   fail "README Quickstart snippet != examples/readme_quickstart.cpp"
 fi
-rm -f /tmp/docs_check_readme.$$ /tmp/docs_check_example.$$ \
-  /tmp/docs_check_diff.$$
 
 [ $status -eq 0 ] && echo "docs-check: OK"
 exit $status
