@@ -17,6 +17,7 @@
 #include "core/byz.hpp"
 #include "faults/adversaries.hpp"
 #include "faults/search.hpp"
+#include "obs/bench_report.hpp"
 #include "protocols/common/eig_process.hpp"
 #include "sim/runner.hpp"
 #include "util/table.hpp"
@@ -63,7 +64,8 @@ Tally sweep(std::shared_ptr<const da::protocols::Resolver> resolver, int f) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  da::obs::BenchReporter reporter("bench_ablation_vote", &argc, argv);
   std::puts("E10: ablation — VOTE(n-1-m, n-1) vs simple majority resolve");
   std::printf("     config %s, identical message pattern, exhaustive fault "
               "subsets x adversary family\n\n",
@@ -91,5 +93,5 @@ int main() {
   std::puts("false majority at some receiver (violating D.3/D.4), while the");
   std::puts("threshold vote defaults instead — the design choice the whole");
   std::puts("degradable guarantee rests on.");
-  return 0;
+  return reporter.finish();
 }

@@ -18,6 +18,7 @@
 #include "clocksync/degradable_sync.hpp"
 #include "clocksync/witness.hpp"
 #include "faults/adversaries.hpp"
+#include "obs/bench_report.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -183,7 +184,8 @@ void periodic_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  da::obs::BenchReporter reporter("bench_clocksync", &argc, argv);
   std::puts("E7: clock synchronization (Section 6)\n");
   cnv_table();
   witness_table();
@@ -193,5 +195,5 @@ int main() {
   std::puts("witness clocks buy the margin back in hardware. The degradable");
   std::puts("sync round keeps the paper's conjectured disjunction — >= m+1");
   std::puts("synced or >= m+1 detecting — across the degraded fault range.");
-  return 0;
+  return reporter.finish();
 }

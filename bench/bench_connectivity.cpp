@@ -17,6 +17,7 @@
 #include "faults/adversaries.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/topology.hpp"
+#include "obs/bench_report.hpp"
 #include "relay/cutset_adversary.hpp"
 #include "relay/disjoint_relay.hpp"
 #include "relay/graph_network.hpp"
@@ -150,7 +151,8 @@ void separator_demo(int m, int u) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  da::obs::BenchReporter reporter("bench_connectivity", &argc, argv);
   std::puts("E5: Theorem 3 — connectivity >= m+u+1 necessary and sufficient\n");
   threshold_demo(1, 2);
   threshold_demo(2, 3);
@@ -161,5 +163,5 @@ int main() {
   std::puts("Reading: at kappa = m+u no rule exists (necessity); at m+u+1 the");
   std::puts("VOTE(u+1, m+u+1) relay gives exactly the D.1/D.3 channel shape");
   std::puts("(sufficiency), with the wrong-value column zero through f = u.");
-  return 0;
+  return reporter.finish();
 }

@@ -17,6 +17,7 @@
 #include "core/byz.hpp"
 #include "event/event_runner.hpp"
 #include "faults/adversaries.hpp"
+#include "obs/bench_report.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -70,7 +71,8 @@ Cell sweep(double timeout, double offset_spread, int f, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  da::obs::BenchReporter reporter("bench_event_timing", &argc, argv);
   std::puts("E6b: clock-driven rounds and timeout-based absence detection");
   std::printf("     config %s, link latency U[0.01, 0.10], period 1.0\n\n",
               kConfig.to_string().c_str());
@@ -126,5 +128,5 @@ int main() {
   std::puts("below the latency+skew margin or the clocks drift apart — and");
   std::puts("the degraded conditions absorb them (default class grows, the");
   std::puts("satisfied column stays full), as Section 6.1 claims.");
-  return 0;
+  return reporter.finish();
 }

@@ -16,6 +16,7 @@
 
 #include "channels/channel_system.hpp"
 #include "faults/adversaries.hpp"
+#include "obs/bench_report.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -86,7 +87,8 @@ void report(const char* title, const ChannelSystem& system, int max_f,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  da::obs::BenchReporter reporter("bench_fig1_channels", &argc, argv);
   std::puts("E3: multiple-channel systems of Figure 1 (m = 1)\n");
 
   const ChannelSystem byzantine(
@@ -104,5 +106,5 @@ int main() {
   std::puts("    the degradable system only correct-or-default (C.2) up to u = 2;");
   std::puts("  - fault-free channel states stay within {correct, safe-default}");
   std::puts("    for the degradable system (C.3), through f <= u.");
-  return 0;
+  return reporter.finish();
 }

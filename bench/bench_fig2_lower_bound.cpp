@@ -21,6 +21,7 @@
 #include "core/agreement.hpp"
 #include "faults/behavior_search.hpp"
 #include "faults/figure2.hpp"
+#include "obs/bench_report.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -55,6 +56,7 @@ void run_at(int n) {
 
   da::Table table({"scenario", "faulty", "condition", "satisfied",
                    "decision(A=1)", "decision(B=2)"});
+  table.set_name("figure2_scenarios_n" + std::to_string(n));
   const auto row = [&table](const Scenario& s, const Executed& e) {
     std::string faulty;
     for (da::NodeId id : s.spec.faulty) {
@@ -93,6 +95,7 @@ void print_sweep_report(const da::sweep::SweepStats& stats) {
       static_cast<unsigned long long>(stats.performed), stats.wall_ms);
   double busy_total = 0.0;
   da::Table table({"worker", "shards", "executions", "busy_ms"});
+  table.set_name("sweep_workers");
   for (const auto& w : da::sweep::summarize_workers(stats)) {
     table.row(w.worker, w.shards, w.executions,
               static_cast<std::int64_t>(w.busy_ms));
@@ -156,7 +159,9 @@ int parse_jobs(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  da::obs::BenchReporter reporter("bench_fig2_lower_bound", &argc, argv);
   const int jobs = parse_jobs(argc, argv);
+  reporter.set_jobs(jobs);
   std::puts("E4: Theorem 2 lower bound, Figure 2 made executable");
   std::printf("    alpha = %s, beta = %s, both distinct from V_d\n\n",
               da::faults::figure2::kAlpha.to_string().c_str(),
@@ -170,5 +175,5 @@ int main(int argc, char** argv) {
 
   std::puts("\nWith one more node (N = 2m+u+1) the exhaustive sweeps of");
   std::puts("bench_table_min_nodes find no violation: the bound is tight.");
-  return 0;
+  return reporter.finish();
 }

@@ -16,6 +16,7 @@
 
 #include "core/agreement.hpp"
 #include "faults/adversaries.hpp"
+#include "obs/bench_report.hpp"
 #include "protocols/ic/interactive_consistency.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -68,7 +69,8 @@ int degradable_retained(int f, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  da::obs::BenchReporter reporter("bench_ic_comparison", &argc, argv);
   std::puts("E8: graceful degradation — interactive consistency vs");
   std::puts("    1/4-degradable agreement on 7 nodes (worst over trials)\n");
 
@@ -87,5 +89,5 @@ int main() {
   std::puts("identical group can fall to 1. Degradable agreement holds its");
   std::puts("promised >= m+1 = 2 agreeing fault-free nodes through f = u = 4,");
   std::puts("more than a third of the system.");
-  return 0;
+  return reporter.finish();
 }

@@ -19,12 +19,17 @@
 #include <cstring>
 
 #include "core/agreement.hpp"
+#include "core/byz.hpp"
 #include "faults/adversaries.hpp"
 #include "faults/behavior_search.hpp"
 #include "faults/search.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/common/vote.hpp"
 #include "protocols/crusader/crusader.hpp"
+#include "protocols/ic/interactive_consistency.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -204,11 +209,71 @@ void register_sweep_benchmarks() {
   }
 }
 
+// Measured-vs-analytic message counts: run each protocol fault-free (no
+// omissions) and require the runner's sim.messages_sent delta — and the
+// runner's own counter — to equal the closed-form formula. Returns the
+// number of mismatched rows.
+int verify_analytic_counts() {
+  auto& registry = da::obs::MetricsRegistry::global();
+  da::Table table({"protocol", "n", "m", "measured", "analytic", "match"});
+  table.set_name("analytic_vs_measured");
+  int mismatches = 0;
+
+  const auto check = [&](const char* protocol, int n, int m,
+                         std::uint64_t measured, std::uint64_t analytic) {
+    const bool ok = measured == analytic;
+    if (!ok) ++mismatches;
+    table.row(protocol, n, m, measured, analytic, ok ? "yes" : "MISMATCH");
+  };
+
+  for (const auto& [n, m] : {std::pair{4, 1}, {7, 1}, {7, 2}, {5, 0}}) {
+    const da::Config config{.n = n, .m = m, .u = n - 2 * m - 1};
+    const da::DegradableAgreement protocol(config);
+    const auto spec = make_spec(config, 0);  // fault-free: no omissions
+    const std::uint64_t before = registry.counter_value("sim.messages_sent");
+    const auto outcome = protocol.run(spec, nullptr);
+    const std::uint64_t delta =
+        registry.counter_value("sim.messages_sent") - before;
+    const std::uint64_t analytic =
+        da::core::byz_message_count(n, m);
+    check("BYZ", n, m, delta, analytic);
+    check("BYZ(outcome)", n, m, outcome.messages_sent, analytic);
+  }
+
+  for (const int n : {4, 7}) {
+    const std::uint64_t before = registry.counter_value("sim.messages_sent");
+    da::sim::SyncRunner runner(
+        da::protocols::crusader::make_crusader_processes(n, 1, 0,
+                                                         da::Value::of(17)),
+        da::sim::RunOptions{});
+    (void)runner.run();
+    const std::uint64_t delta =
+        registry.counter_value("sim.messages_sent") - before;
+    check("crusader", n, 1, delta,
+          da::protocols::crusader::crusader_message_count(n));
+  }
+
+  for (const auto& [n, m] : {std::pair{4, 1}, {5, 1}}) {
+    std::vector<da::Value> inputs;
+    for (int i = 0; i < n; ++i) inputs.push_back(da::Value::of(i + 1));
+    const auto result = da::protocols::ic::run_interactive_consistency(
+        n, m, inputs, {}, nullptr);
+    check("IC", n, m, result.messages_sent,
+          da::protocols::ic::ic_message_count(n, m));
+  }
+
+  std::puts("\nAnalytic vs measured message counts (fault-free runs):");
+  table.print();
+  return mismatches;
+}
+
 }  // namespace
 
 // Hand-rolled main instead of BENCHMARK_MAIN(): `--jobs N` must be
-// stripped before benchmark::Initialize rejects it as an unknown flag.
+// stripped before benchmark::Initialize rejects it as an unknown flag
+// (the reporter strips `--json`/`--smoke` the same way).
 int main(int argc, char** argv) {
+  da::obs::BenchReporter reporter("bench_perf", &argc, argv);
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -220,10 +285,17 @@ int main(int argc, char** argv) {
     }
   }
   argc = kept;
-  register_sweep_benchmarks();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  reporter.set_seed(7);
+  reporter.set_jobs(g_jobs);
+  if (!reporter.smoke()) {
+    register_sweep_benchmarks();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+      return reporter.finish(1);
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  const int mismatches = verify_analytic_counts();
+  return reporter.finish(mismatches == 0 ? 0 : 1);
 }

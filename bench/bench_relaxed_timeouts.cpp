@@ -16,6 +16,7 @@
 
 #include "core/agreement.hpp"
 #include "faults/adversaries.hpp"
+#include "obs/bench_report.hpp"
 #include "sim/network.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -62,7 +63,8 @@ Cell sweep(const da::Config& config, int f, double drop, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  da::obs::BenchReporter reporter("bench_relaxed_timeouts", &argc, argv);
   std::puts("E6: false timeouts between fault-free nodes (Section 6.1)");
   const da::Config config{.n = 7, .m = 1, .u = 4};
   std::printf("    config: %s\n\n", config.to_string().c_str());
@@ -91,5 +93,5 @@ int main() {
   std::puts("false timeouts convert receivers to the default class (average");
   std::puts("grows with the drop rate) but never to a wrong value. Safety is");
   std::puts("preserved; only availability degrades, as Section 6.1 claims.");
-  return 0;
+  return reporter.finish();
 }

@@ -18,6 +18,7 @@
 #include "core/agreement.hpp"
 #include "core/bounds.hpp"
 #include "faults/adversaries.hpp"
+#include "obs/bench_report.hpp"
 #include "protocols/authenticated/sm.hpp"
 #include "protocols/lamport/om.hpp"
 #include "relay/cutset_adversary.hpp"
@@ -45,7 +46,8 @@ da::sim::RunResult run_sm(int n, int m, const std::vector<da::NodeId>& faulty,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  da::obs::BenchReporter reporter("bench_sm_comparison", &argc, argv);
   std::puts("E11: oral (OM / BYZ) vs signed (SM) message models\n");
 
   std::puts("node budget to mask m traitors:");
@@ -130,5 +132,5 @@ int main() {
   std::puts("trade-off remains the relevant one when signatures are");
   std::puts("unavailable (the paper's FTMP/FTP-class hardware), and the");
   std::puts("connectivity lower bound binds either way.");
-  return 0;
+  return reporter.finish();
 }

@@ -16,6 +16,7 @@
 #include "core/bounds.hpp"
 #include "faults/behavior_search.hpp"
 #include "faults/search.hpp"
+#include "obs/bench_report.hpp"
 #include "sweep/sweep.hpp"
 #include "util/table.hpp"
 
@@ -26,12 +27,13 @@ int g_jobs = 1;
 constexpr int kMaxM = 3;
 constexpr int kMaxU = 6;
 
-// Empirical verification is exponential in N; cap the exhaustive sweep.
-constexpr int kVerifyNodeCap = 7;
+// Empirical verification is exponential in N; cap the exhaustive sweep
+// (--smoke lowers the cap so the ctest bench-smoke entry stays fast).
+int g_verify_node_cap = 7;
 
 std::string verify_cell(int m, int u) {
   const int n_min = da::bounds::min_nodes(m, u);
-  if (n_min > kVerifyNodeCap) return "(formula)";
+  if (n_min > g_verify_node_cap) return "(formula)";
 
   da::faults::SearchOptions options;
   options.seed = 7;
@@ -72,6 +74,7 @@ std::string verify_cell(int m, int u) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  da::obs::BenchReporter reporter("bench_table_min_nodes", &argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       g_jobs = std::atoi(argv[++i]);
@@ -79,6 +82,8 @@ int main(int argc, char** argv) {
       g_jobs = std::atoi(argv[i] + 7);
     }
   }
+  if (reporter.smoke()) g_verify_node_cap = 4;
+  reporter.set_seed(7);
   std::puts("E1: minimum number of nodes for m/u-degradable agreement");
   std::puts("    (paper, Section 2: N_min = 2m+u+1; '-' where u < m)");
   std::printf("    sweep workers: --jobs %d\n\n", g_jobs);
@@ -87,6 +92,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> header{"u \\ m"};
     for (int m = 0; m <= kMaxM; ++m) header.push_back("m=" + std::to_string(m));
     da::Table table(header);
+    table.set_name("min_nodes");
     for (int u = 1; u <= kMaxU; ++u) {
       std::vector<std::string> row{std::to_string(u)};
       for (int m = 0; m <= kMaxM; ++m) {
@@ -107,6 +113,7 @@ int main(int argc, char** argv) {
 
   {
     da::Table table({"m", "u", "N_min", "connectivity_min", "check"});
+    table.set_name("empirical_check");
     for (int m = 0; m <= kMaxM; ++m) {
       for (int u = m; u <= kMaxU; ++u) {
         if (u < 1) continue;
@@ -116,5 +123,6 @@ int main(int argc, char** argv) {
     }
     table.print();
   }
-  return 0;
+  reporter.set_jobs(g_jobs);
+  return reporter.finish();
 }

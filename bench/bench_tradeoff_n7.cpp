@@ -13,6 +13,7 @@
 #include "core/agreement.hpp"
 #include "core/bounds.hpp"
 #include "faults/adversaries.hpp"
+#include "obs/bench_report.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -60,7 +61,8 @@ SweepRow sweep(const da::Config& config, int f, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  da::obs::BenchReporter reporter("bench_tradeoff_n7", &argc, argv);
   std::puts("E2: the 7-node trade-off (paper, Section 2)");
   std::puts("    exact    = all fault-free nodes on one value (D.1/D.2)");
   std::puts("    degraded = {value, V_d} split, >= m+1 nodes agreeing (D.3/D.4)");
@@ -90,5 +92,5 @@ int main() {
   std::puts("1/4 masks one fault and stays safe through f=4; 0/6 masks none");
   std::puts("but degrades safely through f=6. Same 7 nodes, traded per the");
   std::puts("paper's N_min = 2m+u+1 budget.");
-  return 0;
+  return reporter.finish();
 }

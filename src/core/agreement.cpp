@@ -1,5 +1,6 @@
 #include "core/agreement.hpp"
 
+#include "obs/metrics.hpp"
 #include "rt/threaded_runner.hpp"
 #include "util/contracts.hpp"
 
@@ -45,10 +46,15 @@ Outcome DegradableAgreement::run(const ScenarioSpec& spec,
   spec.validate();
   DA_EXPECTS(spec.config.n == config_.n && spec.config.m == config_.m &&
              spec.config.u == config_.u);
+  static const obs::Counter executions("protocol.byz.executions");
+  static const obs::Counter messages("protocol.byz.messages_sent");
+  executions.add();
   sim::SyncRunner runner(
       core::make_byz_processes(config_, spec.sender, spec.sender_value),
       to_run_options(spec, adversary, extras));
-  return to_outcome(runner.run());
+  Outcome out = to_outcome(runner.run());
+  messages.add(out.messages_sent);
+  return out;
 }
 
 Outcome DegradableAgreement::run_threaded(const ScenarioSpec& spec,
@@ -57,10 +63,15 @@ Outcome DegradableAgreement::run_threaded(const ScenarioSpec& spec,
   spec.validate();
   DA_EXPECTS(spec.config.n == config_.n && spec.config.m == config_.m &&
              spec.config.u == config_.u);
+  static const obs::Counter executions("protocol.byz.executions");
+  static const obs::Counter messages("protocol.byz.messages_sent");
+  executions.add();
   rt::ThreadedRunner runner(
       core::make_byz_processes(config_, spec.sender, spec.sender_value),
       to_run_options(spec, adversary, extras));
-  return to_outcome(runner.run());
+  Outcome out = to_outcome(runner.run());
+  messages.add(out.messages_sent);
+  return out;
 }
 
 ConditionReport DegradableAgreement::run_and_check(
@@ -79,12 +90,17 @@ Outcome LamportAgreement::run(const ScenarioSpec& spec,
                               const RunExtras& extras) const {
   spec.validate();
   DA_EXPECTS(spec.config.n == n_);
+  static const obs::Counter executions("protocol.om.executions");
+  static const obs::Counter messages("protocol.om.messages_sent");
+  executions.add();
   auto procs = protocols::make_eig_processes(
       n_, spec.sender, spec.sender_value, m_ + 1,
       std::make_shared<protocols::MajorityResolver>());
   sim::SyncRunner runner(std::move(procs),
                          to_run_options(spec, adversary, extras));
-  return to_outcome(runner.run());
+  Outcome out = to_outcome(runner.run());
+  messages.add(out.messages_sent);
+  return out;
 }
 
 }  // namespace da

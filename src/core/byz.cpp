@@ -11,16 +11,13 @@ int byz_depth(int m) {
 
 std::uint64_t byz_message_count(int n, int m) {
   DA_EXPECTS(n >= 2 && m >= 0);
-  const int depth = byz_depth(m);
-  std::uint64_t total = 0;
-  std::uint64_t level = 1;
-  // Round r carries (n-1)(n-2)...(n-r) messages: one per length-r relay
-  // chain of distinct nodes starting at the sender.
-  for (int r = 1; r <= depth; ++r) {
-    level *= static_cast<std::uint64_t>(n - r);
-    total += level;
-  }
-  return total;
+  return protocols::eig_message_count(n, byz_depth(m));
+}
+
+std::uint64_t byz_message_count(int n, int t, int m) {
+  DA_EXPECTS(n >= 2 && t >= 1 && m >= 0);
+  (void)m;  // m tunes the resolve thresholds, not the message pattern
+  return protocols::eig_message_count(n, t + 1);
 }
 
 std::shared_ptr<const protocols::Resolver> byz_resolver(int m) {

@@ -23,8 +23,14 @@ namespace da::core {
 
 /// Total point-to-point messages BYZ(m,m) sends with n nodes and no
 /// omissions: (n-1) + (n-1)(n-2) + ... + (n-1)...(n-1-m)  — the paper's
-/// "no attempt is made here to present an efficient algorithm".
+/// "no attempt is made here to present an efficient algorithm". Equals
+/// protocols::eig_message_count(n, byz_depth(m)).
 [[nodiscard]] std::uint64_t byz_message_count(int n, int m);
+
+/// Generalization to BYZ(t,m): the recursion unfolds over t+1 rounds (the
+/// message pattern depends only on t; m only tunes the VOTE thresholds),
+/// so the count is protocols::eig_message_count(n, t+1).
+[[nodiscard]] std::uint64_t byz_message_count(int n, int t, int m);
 
 /// The shared BYZ resolve rule for parameter m.
 [[nodiscard]] std::shared_ptr<const protocols::Resolver> byz_resolver(int m);

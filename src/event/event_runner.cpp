@@ -4,6 +4,7 @@
 #include <map>
 #include <queue>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
@@ -68,6 +69,15 @@ EventRunResult EventRunner::run() {
   for (const auto& p : processes_) DA_EXPECTS(p->total_rounds() == rounds);
   const std::size_t n = processes_.size();
 
+  static const obs::Counter executions("event.executions");
+  static const obs::Counter sent("event.messages_sent");
+  static const obs::Counter delivered_count("event.messages_delivered");
+  static const obs::Counter false_timeouts("event.false_timeouts");
+  static const obs::Histogram run_ms("event.run_ms");
+  const obs::MetricsScope metrics_scope;
+  const obs::ScopedTimer run_timer(run_ms);
+  executions.add();
+
   std::map<NodeId, std::size_t> index;
   for (std::size_t i = 0; i < n; ++i) index.emplace(processes_[i]->id(), i);
   DA_EXPECTS(index.size() == n);
@@ -116,6 +126,7 @@ EventRunResult EventRunner::run() {
       DA_EXPECTS(msg.from == from);
       msg.round = round;
       ++result.base.messages_sent;
+      sent.add();
       std::optional<sim::Message> delivered;
       if (fabricated) {
         delivered = options_.network == nullptr
@@ -163,9 +174,11 @@ EventRunResult EventRunner::run() {
           // Arrived after the receiver's deadline: the receiver has already
           // declared this message absent — Section 6.1's false timeout.
           ++result.false_timeouts;
+          false_timeouts.add();
           break;
         }
         ++result.base.messages_delivered;
+        delivered_count.add();
         if (options_.trace != nullptr) options_.trace->record(event.msg);
         inbox[to][static_cast<std::size_t>(r)].push_back(event.msg);
         break;

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace da::obs {
+
+/// Protocol cost accounting for the whole repository: a process-wide
+/// registry of named counters, gauges and histograms that the runtimes,
+/// protocols, network models and the sweep engine write into, and that
+/// benches export as JSON (see docs/OBSERVABILITY.md for the metric
+/// name catalogue and the export schema).
+///
+/// Hot-path writes go to cheap *thread-local* sinks — a plain (non-atomic)
+/// slot per metric per thread — and are folded into the shared registry
+/// when a `MetricsScope` exits (counters merge with relaxed atomic adds,
+/// histograms under one mutex). That makes instrumentation safe and
+/// contention-free under the sweep engine's work-stealing pool: each
+/// worker accumulates locally and pays one merge per protocol execution.
+///
+/// Compile-time kill switch: building with -DDA_METRICS_DISABLED (CMake:
+/// -DDA_METRICS=OFF) turns every Counter/Histogram/Timer operation into
+/// an inline no-op so the cost of the instrumentation itself can be
+/// measured (the registry stays linkable but stays empty).
+
+/// Aggregate of one histogram: count/sum/min/max plus coarse log2 buckets
+/// (bucket i counts samples in [2^(i-7), 2^(i-6)), clamped at the ends —
+/// with millisecond samples that spans ~8 us to ~4 min).
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 16;
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  [[nodiscard]] double mean() const { return count == 0 ? 0.0 : sum / count; }
+
+  /// Bucket index for a sample value.
+  [[nodiscard]] static std::size_t bucket_of(double value);
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+namespace detail {
+void tls_counter_add(std::uint32_t id, std::uint64_t delta);
+void tls_histogram_record(std::uint32_t id, double value);
+}  // namespace detail
+
+/// The process-wide metric store. Use `MetricsRegistry::global()`;
+/// metric handles (`Counter`, `Histogram`) intern their name here once at
+/// construction and carry only a dense integer id afterwards.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  /// Interns a metric name; returns its dense id (stable for the process
+  /// lifetime, including across reset()).
+  [[nodiscard]] std::uint32_t intern_counter(std::string_view name);
+  [[nodiscard]] std::uint32_t intern_histogram(std::string_view name);
+
+  /// Gauges are last-write-wins and written directly (no TLS staging):
+  /// they are set rarely (per sweep / per bench), never per message.
+  void set_gauge(std::string_view name, double value);
+
+  /// Folds the calling thread's staged deltas into the shared store.
+  /// Called automatically by ~MetricsScope.
+  void flush_this_thread();
+
+  /// Copies every metric (after flushing the calling thread). Other
+  /// threads' unflushed deltas are not included — end their scopes first.
+  [[nodiscard]] MetricsSnapshot snapshot();
+
+  /// Single-counter read (after flushing the calling thread); 0 if the
+  /// name was never interned. Convenience for tests and benches.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name);
+
+  /// Zeroes every counter/histogram/gauge (names and ids survive). Only
+  /// meaningful when no instrumented work is in flight on other threads.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+};
+
+/// A named monotonic counter. Construct once (function-local static at the
+/// instrumentation site), then `add()` per event.
+class Counter {
+ public:
+#ifndef DA_METRICS_DISABLED
+  explicit Counter(std::string_view name)
+      : id_(MetricsRegistry::global().intern_counter(name)) {}
+  void add(std::uint64_t delta = 1) const { detail::tls_counter_add(id_, delta); }
+#else
+  explicit Counter(std::string_view) {}
+  void add(std::uint64_t = 1) const {}
+#endif
+
+ private:
+#ifndef DA_METRICS_DISABLED
+  std::uint32_t id_;
+#endif
+};
+
+/// A named histogram of double samples (timers record milliseconds).
+class Histogram {
+ public:
+#ifndef DA_METRICS_DISABLED
+  explicit Histogram(std::string_view name)
+      : id_(MetricsRegistry::global().intern_histogram(name)) {}
+  void record(double value) const { detail::tls_histogram_record(id_, value); }
+#else
+  explicit Histogram(std::string_view) {}
+  void record(double) const {}
+#endif
+
+ private:
+#ifndef DA_METRICS_DISABLED
+  std::uint32_t id_;
+#endif
+};
+
+/// Flushes the calling thread's staged metric deltas when it dies.
+/// Instrumented regions (a protocol execution, a worker task, a node
+/// thread body) hold one so their writes become visible at scope exit.
+class MetricsScope {
+ public:
+  MetricsScope() = default;
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+#ifndef DA_METRICS_DISABLED
+  ~MetricsScope() { MetricsRegistry::global().flush_this_thread(); }
+#else
+  ~MetricsScope() = default;
+#endif
+};
+
+/// Records the elapsed wall time (milliseconds) into a histogram at
+/// destruction. The referenced histogram must outlive the timer.
+class ScopedTimer {
+ public:
+#ifndef DA_METRICS_DISABLED
+  explicit ScopedTimer(const Histogram& hist)
+      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    hist_->record(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+  }
+#else
+  explicit ScopedTimer(const Histogram&) {}
+#endif
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+#ifndef DA_METRICS_DISABLED
+  const Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+}  // namespace da::obs

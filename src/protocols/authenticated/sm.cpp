@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace da::protocols::authenticated {
@@ -94,6 +95,8 @@ std::vector<std::unique_ptr<sim::Process>> make_sm_processes(
     int n, int m, NodeId sender, Value value,
     const SignatureAuthority& authority) {
   DA_EXPECTS(n >= 2);
+  static const obs::Counter instances("protocol.sm.instances");
+  instances.add();
   DA_EXPECTS(sender >= 0 && sender < n);
   std::vector<NodeId> nodes(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) nodes[static_cast<std::size_t>(i)] = i;

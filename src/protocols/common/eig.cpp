@@ -69,4 +69,15 @@ Value MajorityResolver::resolve(int n_sub, std::span<const Value> w) const {
   return majority(w);
 }
 
+std::uint64_t eig_message_count(int n, int depth) {
+  DA_EXPECTS(n >= 2 && depth >= 1);
+  std::uint64_t total = 0;
+  std::uint64_t level = 1;
+  for (int r = 1; r <= depth && r < n; ++r) {
+    level *= static_cast<std::uint64_t>(n - r);
+    total += level;
+  }
+  return total;
+}
+
 }  // namespace da::protocols

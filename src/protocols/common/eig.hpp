@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -88,5 +89,14 @@ class MajorityResolver final : public Resolver {
   [[nodiscard]] Value resolve(int n_sub,
                               std::span<const Value> w) const override;
 };
+
+/// Point-to-point messages of one EIG instance with `n` nodes unfolding
+/// over `depth` rounds and no omissions: round r carries one message per
+/// length-r relay chain of distinct nodes starting at the sender, i.e.
+/// sum over r in [1, depth] of (n-1)(n-2)...(n-r). Every EIG-shaped
+/// protocol's analytic count — BYZ(t,m), OM(m), crusader, IC — is this
+/// formula at its depth (see byz_message_count / om_message_count /
+/// crusader_message_count / ic_message_count).
+[[nodiscard]] std::uint64_t eig_message_count(int n, int depth);
 
 }  // namespace da::protocols

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace da::protocols {
@@ -88,6 +89,8 @@ std::vector<std::unique_ptr<sim::Process>> make_eig_processes(
     int n, NodeId sender, Value input, int depth,
     std::shared_ptr<const Resolver> resolver) {
   DA_EXPECTS(n >= 2);
+  static const obs::Counter instances("protocol.eig.instances");
+  instances.add();
   DA_EXPECTS(sender >= 0 && sender < n);
   std::vector<NodeId> nodes(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) nodes[static_cast<std::size_t>(i)] = i;

@@ -1,5 +1,6 @@
 #include "protocols/crusader/crusader.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace da::protocols::crusader {
@@ -7,8 +8,14 @@ namespace da::protocols::crusader {
 std::vector<std::unique_ptr<sim::Process>> make_crusader_processes(
     int n, int m, NodeId sender, Value value) {
   DA_EXPECTS(m >= 0);
+  static const obs::Counter instances("protocol.crusader.instances");
+  instances.add();
   return make_eig_processes(n, sender, value, crusader_rounds(),
                             std::make_shared<ByzResolver>(m));
+}
+
+std::uint64_t crusader_message_count(int n) {
+  return eig_message_count(n, crusader_rounds());
 }
 
 bool crusader_agreement_holds(

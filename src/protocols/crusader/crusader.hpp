@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <vector>
@@ -27,6 +28,11 @@ namespace da::protocols::crusader {
 make_crusader_processes(int n, int m, NodeId sender, Value value);
 
 [[nodiscard]] constexpr int crusader_rounds() { return 2; }
+
+/// Point-to-point messages of one crusader execution with n nodes and no
+/// omissions: the depth-2 EIG pattern, eig_message_count(n, 2) =
+/// (n-1) + (n-1)(n-2) = (n-1)^2.
+[[nodiscard]] std::uint64_t crusader_message_count(int n);
 
 /// Crusader conditions: (1) fault-free sender => all fault-free receivers
 /// decide its value; (2) receivers that decide a non-default value all

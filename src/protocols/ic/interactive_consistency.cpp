@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "protocols/lamport/om.hpp"
 #include "sim/runner.hpp"
 #include "util/contracts.hpp"
@@ -15,6 +16,12 @@ IcResult run_interactive_consistency(int n, int m,
   DA_EXPECTS(n >= 2 && m >= 0);
   DA_EXPECTS(static_cast<int>(inputs.size()) == n);
   DA_EXPECTS(std::is_sorted(faulty.begin(), faulty.end()));
+
+  static const obs::Counter executions("protocol.ic.executions");
+  static const obs::Counter instances("protocol.ic.om_instances");
+  static const obs::Counter messages("protocol.ic.messages_sent");
+  executions.add();
+  instances.add(static_cast<std::uint64_t>(n));
 
   IcResult result;
   for (NodeId p = 0; p < n; ++p) {
@@ -41,7 +48,13 @@ IcResult run_interactive_consistency(int n, int m,
       result.vectors[node][static_cast<std::size_t>(sender)] = decision;
     }
   }
+  messages.add(result.messages_sent);
   return result;
+}
+
+std::uint64_t ic_message_count(int n, int m) {
+  DA_EXPECTS(n >= 2 && m >= 0);
+  return static_cast<std::uint64_t>(n) * lamport::om_message_count(n, m);
 }
 
 bool interactive_consistency_holds(const IcResult& result,

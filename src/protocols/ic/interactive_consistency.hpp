@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -31,6 +32,10 @@ struct IcResult {
 [[nodiscard]] IcResult run_interactive_consistency(
     int n, int m, const std::vector<Value>& inputs,
     const std::vector<NodeId>& faulty, const AdversaryFactory& adversaries);
+
+/// Point-to-point messages of one IC execution with no omissions: n
+/// parallel OM(m) instances, n * om_message_count(n, m).
+[[nodiscard]] std::uint64_t ic_message_count(int n, int m);
 
 /// IC validity: all fault-free nodes computed identical vectors, and the
 /// entry for every fault-free node equals that node's input.

@@ -19,13 +19,7 @@ int om_rounds(int m) {
 
 std::uint64_t om_message_count(int n, int m) {
   DA_EXPECTS(n >= 2 && m >= 0);
-  std::uint64_t total = 0;
-  std::uint64_t level = 1;
-  for (int r = 1; r <= om_rounds(m); ++r) {
-    level *= static_cast<std::uint64_t>(n - r);
-    total += level;
-  }
-  return total;
+  return eig_message_count(n, om_rounds(m));
 }
 
 bool byzantine_agreement_holds(

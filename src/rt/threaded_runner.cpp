@@ -6,6 +6,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "rt/mailbox.hpp"
 #include "util/contracts.hpp"
 
@@ -22,6 +23,15 @@ ThreadedRunner::ThreadedRunner(
 sim::RunResult ThreadedRunner::run() {
   const int rounds = processes_[0]->total_rounds();
   for (const auto& p : processes_) DA_EXPECTS(p->total_rounds() == rounds);
+
+  static const obs::Counter executions("rt.executions");
+  static const obs::Counter sent("rt.messages_sent");
+  static const obs::Counter delivered_count("rt.messages_delivered");
+  static const obs::Counter wire_bytes("rt.wire_bytes");
+  static const obs::Histogram run_ms("rt.run_ms");
+  const obs::MetricsScope metrics_scope;
+  const obs::ScopedTimer run_timer(run_ms);
+  executions.add();
 
   const std::size_t n = processes_.size();
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
@@ -61,7 +71,10 @@ sim::RunResult ThreadedRunner::run() {
           if (options_.trace != nullptr) options_.trace->record(*delivered);
         }
       }
+      sent.add();
       if (delivered) {
+        delivered_count.add();
+        wire_bytes.add(sim::wire_size_bytes(*delivered));
         const auto it = index.find(delivered->to);
         DA_EXPECTS(it != index.end());
         mailboxes[it->second]->deposit(round, *delivered);
@@ -70,6 +83,9 @@ sim::RunResult ThreadedRunner::run() {
   };
 
   const auto node_main = [&](sim::Process& proc) {
+    // Flush this node thread's staged metric deltas before it joins (TLS
+    // writes in dispatch() need no lock; the merge happens here, once).
+    const obs::MetricsScope node_metrics_scope;
     try {
       const NodeId self = proc.id();
       const bool faulty = sim::is_faulty(options_, self);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -28,5 +29,12 @@ struct Message {
 
   friend bool operator==(const Message&, const Message&) = default;
 };
+
+/// Size of `msg` under a compact reference wire encoding, in bytes. Used
+/// by the metrics layer to account bits-on-wire: 4-byte from/to/round, a
+/// length-prefixed path (1 byte length + 1 byte per hop), a 1-byte value
+/// tag plus an 8-byte payload for non-default values, and an 8-byte aux
+/// field only when aux is nonzero.
+[[nodiscard]] std::size_t wire_size_bytes(const Message& msg);
 
 }  // namespace da::sim

@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace da::sim {
@@ -11,7 +12,19 @@ bool FalseTimeoutNetwork::deliver(const Message& msg) {
   h = mix64(h, static_cast<std::uint64_t>(msg.round));
   h = mix64(h, msg.path.hash());
   const double x = static_cast<double>(h >> 11) * 0x1.0p-53;
-  return x >= drop_prob_;
+  if (x < drop_prob_) {
+    static const obs::Counter dropped("sim.network.false_timeouts");
+    dropped.add();
+    return false;
+  }
+  return true;
+}
+
+bool TopologyNetwork::deliver(const Message& msg) {
+  if (graph_.has_edge(msg.from, msg.to)) return true;
+  static const obs::Counter blocked("sim.network.topology_blocked");
+  blocked.add();
+  return false;
 }
 
 }  // namespace da::sim

@@ -64,9 +64,7 @@ class TopologyNetwork final : public NetworkModel {
  public:
   explicit TopologyNetwork(graph::Graph g) : graph_(std::move(g)) {}
 
-  [[nodiscard]] bool deliver(const Message& msg) override {
-    return graph_.has_edge(msg.from, msg.to);
-  }
+  [[nodiscard]] bool deliver(const Message& msg) override;
 
   [[nodiscard]] const graph::Graph& graph() const { return graph_; }
 

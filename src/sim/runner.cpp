@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace da::sim {
@@ -61,6 +62,15 @@ RunResult SyncRunner::run() {
   const int rounds = processes_[0]->total_rounds();
   for (const auto& p : processes_) DA_EXPECTS(p->total_rounds() == rounds);
 
+  static const obs::Counter executions("sim.executions");
+  static const obs::Counter rounds_run("sim.rounds");
+  static const obs::Counter sent("sim.messages_sent");
+  static const obs::Counter delivered_count("sim.messages_delivered");
+  static const obs::Counter wire_bytes("sim.wire_bytes");
+  static const obs::Histogram round_ms("sim.round_ms");
+  const obs::MetricsScope metrics_scope;
+  executions.add();
+
   RunResult result;
   result.rounds = rounds;
 
@@ -74,6 +84,7 @@ RunResult SyncRunner::run() {
       DA_EXPECTS(msg.from == from);
       msg.round = round;
       ++result.messages_sent;
+      sent.add();
       // Fabricated messages already carry adversarial content; they skip
       // corrupt() but still traverse the network model.
       std::optional<Message> delivered =
@@ -83,6 +94,8 @@ RunResult SyncRunner::run() {
                      : filter_message(msg, options_, faulty);
       if (delivered) {
         ++result.messages_delivered;
+        delivered_count.add();
+        wire_bytes.add(wire_size_bytes(*delivered));
         if (options_.trace != nullptr) options_.trace->record(*delivered);
         inflight[delivered->to].push_back(*delivered);
       }
@@ -99,6 +112,8 @@ RunResult SyncRunner::run() {
   }
 
   for (int r = 0; r < rounds; ++r) {
+    rounds_run.add();
+    const obs::ScopedTimer round_timer(round_ms);
     std::map<NodeId, std::vector<Message>> delivered;
     delivered.swap(inflight);
     for (const auto& p : processes_) {

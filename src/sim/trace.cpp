@@ -33,6 +33,13 @@ bool Trace::indistinguishable_for(NodeId node, const Trace& other) const {
   return transcript(node) == other.transcript(node);
 }
 
+std::vector<NodeId> Trace::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(by_node_.size());
+  for (const auto& [node, msgs] : by_node_) out.push_back(node);
+  return out;
+}
+
 std::size_t Trace::total_messages() const {
   std::size_t total = 0;
   for (const auto& [node, msgs] : by_node_) total += msgs.size();

@@ -29,6 +29,9 @@ class Trace {
 
   [[nodiscard]] std::size_t total_messages() const;
 
+  /// Nodes that received at least one message, ascending.
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+
  private:
   std::map<NodeId, std::vector<Message>> by_node_;
   static const std::vector<Message> kEmpty;

@@ -4,6 +4,7 @@
 #include <map>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "sweep/thread_pool.hpp"
 #include "util/contracts.hpp"
 
@@ -87,6 +88,36 @@ SweepResult run_sweep(const ShardPlan& plan, const SweepOptions& options,
   result.stats.wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - sweep_start)
           .count();
+
+  // Fold the sweep's own statistics into the metrics registry (the
+  // per-execution sim.* counters were already written by the workers).
+  static const obs::Counter sweeps("sweep.sweeps");
+  static const obs::Counter executions("sweep.executions");
+  static const obs::Counter performed("sweep.performed");
+  static const obs::Counter violations("sweep.violations");
+  static const obs::Counter shards("sweep.shards");
+  static const obs::Counter cancelled_shards("sweep.cancelled_shards");
+  static const obs::Histogram shard_wall_ms("sweep.shard_wall_ms");
+  static const obs::Histogram worker_busy_ms("sweep.worker_busy_ms");
+  static const obs::Histogram wall_ms("sweep.wall_ms");
+  const obs::MetricsScope metrics_scope;
+  sweeps.add();
+  executions.add(result.stats.executions);
+  performed.add(result.stats.performed);
+  violations.add(result.stats.violations);
+  shards.add(result.stats.shards);
+  for (const ShardStats& shard : result.stats.per_shard) {
+    if (shard.worker < 0) {
+      cancelled_shards.add();
+    } else {
+      shard_wall_ms.record(shard.wall_ms);
+    }
+  }
+  for (const WorkerSummary& w : summarize_workers(result.stats)) {
+    if (w.worker >= 0) worker_busy_ms.record(w.busy_ms);
+  }
+  wall_ms.record(result.stats.wall_ms);
+  obs::MetricsRegistry::global().set_gauge("sweep.jobs", jobs);
   return result;
 }
 

@@ -8,7 +8,9 @@ namespace da {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Global log threshold. Defaults to kWarn so library users see problems but
-/// benches/tests stay quiet. Not synchronized: set it once at startup.
+/// benches/tests stay quiet. Thread-safe: the level is an atomic (callable
+/// at any time, from any thread) and emitted lines are serialized by a
+/// writer mutex, so concurrent DA_LOG lines never interleave.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 

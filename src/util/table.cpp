@@ -43,6 +43,20 @@ std::string Table::to_string() const {
   return out;
 }
 
-void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+namespace {
+std::function<void(const Table&)>& print_listener() {
+  static std::function<void(const Table&)> listener;
+  return listener;
+}
+}  // namespace
+
+void Table::set_print_listener(std::function<void(const Table&)> listener) {
+  print_listener() = std::move(listener);
+}
+
+void Table::print() const {
+  std::fputs(to_string().c_str(), stdout);
+  if (const auto& listener = print_listener()) listener(*this);
+}
 
 }  // namespace da

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -14,6 +15,11 @@ class Table {
  public:
   explicit Table(std::vector<std::string> header);
 
+  /// Optional machine-readable identifier, carried into structured exports
+  /// (the bench `--json` reports name each captured table with it).
+  void set_name(std::string name) { name_ = std::move(name); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
   /// Adds a row; must match the header arity.
   void add_row(std::vector<std::string> cells);
 
@@ -26,10 +32,22 @@ class Table {
   /// Render as an aligned ASCII table, with a separator under the header.
   [[nodiscard]] std::string to_string() const;
 
-  /// Print to stdout.
+  /// Print to stdout (and notify the print listener, if any).
   void print() const;
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& cells() const {
+    return rows_;
+  }
+
+  /// Installs a process-wide observer invoked by every `print()` with the
+  /// printed table; pass nullptr to uninstall. Lets a reporter capture
+  /// tables as they are printed without threading itself through every
+  /// print site. Not thread-safe: install before spawning workers.
+  static void set_print_listener(std::function<void(const Table&)> listener);
 
  private:
   template <typename T>
@@ -41,6 +59,7 @@ class Table {
     }
   }
 
+  std::string name_;
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };

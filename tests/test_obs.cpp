@@ -1,0 +1,374 @@
+// The observability layer (src/obs/): the JSON document type and parser,
+// the metrics registry with its thread-local sinks, the canonical JSONL
+// trace export with per-node diffing, and the bench report schema
+// validator.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/agreement.hpp"
+#include "faults/figure2.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
+#include "sim/message.hpp"
+#include "sim/trace.hpp"
+
+namespace da::obs {
+namespace {
+
+// ---------------------------------------------------------------- json --
+
+TEST(Json, ScalarsDumpCompact) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersRoundTripExactly) {
+  const std::int64_t big = 9007199254740993;  // not representable as double
+  const auto parsed = Json::parse(Json(big).dump());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_integer());
+  EXPECT_EQ(parsed->as_int(), big);
+}
+
+TEST(Json, Uint64AboveInt64MaxBecomesDouble) {
+  const Json j(static_cast<std::uint64_t>(1) << 63);
+  EXPECT_FALSE(j.is_integer());
+  EXPECT_TRUE(j.is_number());
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, ObjectPreservesInsertionOrderAndSetReplaces) {
+  Json obj = Json::object();
+  obj.set("z", 1).set("a", 2).set("z", 3);
+  EXPECT_EQ(obj.dump(), "{\"z\":3,\"a\":2}");
+  ASSERT_NE(obj.find("a"), nullptr);
+  EXPECT_EQ(obj.find("a")->as_int(), 2);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\n\t\x01").dump(),
+            "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(Json, ParseRoundTripsNestedDocument) {
+  Json doc = Json::object();
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back(2.5);
+  arr.push_back("three");
+  arr.push_back(nullptr);
+  doc.set("list", arr);
+  doc.set("ok", true);
+
+  const std::string pretty = doc.dump(2);
+  const auto parsed = Json::parse(pretty);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, doc);
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  const auto parsed = Json::parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(Json::parse("{\"a\":}", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(Json::parse("[1,2", nullptr).has_value());
+  EXPECT_FALSE(Json::parse("1 trailing", nullptr).has_value());
+  EXPECT_FALSE(Json::parse("", nullptr).has_value());
+}
+
+// ------------------------------------------------------------- metrics --
+
+TEST(Metrics, CounterAddsFlushOnScopeExit) {
+  auto& registry = MetricsRegistry::global();
+  const std::uint64_t before = registry.counter_value("test.obs.counter");
+  {
+    const MetricsScope scope;
+    const Counter counter("test.obs.counter");
+    counter.add();
+    counter.add(4);
+  }
+  EXPECT_EQ(registry.counter_value("test.obs.counter"), before + 5);
+}
+
+TEST(Metrics, PerThreadSinksMergeAcrossThreads) {
+  auto& registry = MetricsRegistry::global();
+  const std::uint64_t before = registry.counter_value("test.obs.threads");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kAddsPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      const MetricsScope scope;
+      const Counter counter("test.obs.threads");
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) counter.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter_value("test.obs.threads"),
+            before + kThreads * kAddsPerThread);
+}
+
+TEST(Metrics, HistogramSnapshotAggregates) {
+  auto& registry = MetricsRegistry::global();
+  {
+    const MetricsScope scope;
+    const Histogram hist("test.obs.hist");
+    hist.record(1.0);
+    hist.record(2.0);
+    hist.record(9.0);
+  }
+  const auto snap = registry.snapshot();
+  const auto it = snap.histograms.find("test.obs.hist");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_GE(it->second.count, 3u);
+  EXPECT_GE(it->second.sum, 12.0);
+  EXPECT_GE(it->second.max, 9.0);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : it->second.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, it->second.count);
+}
+
+TEST(Metrics, BucketOfIsMonotonicAndClamped) {
+  EXPECT_EQ(HistogramSnapshot::bucket_of(0.0), 0u);
+  std::size_t previous = 0;
+  for (double v = 1e-4; v < 1e7; v *= 2) {
+    const std::size_t bucket = HistogramSnapshot::bucket_of(v);
+    EXPECT_GE(bucket, previous);
+    EXPECT_LT(bucket, HistogramSnapshot::kBuckets);
+    previous = bucket;
+  }
+  EXPECT_EQ(HistogramSnapshot::bucket_of(1e30),
+            HistogramSnapshot::kBuckets - 1);
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+  auto& registry = MetricsRegistry::global();
+  registry.set_gauge("test.obs.gauge", 1.0);
+  registry.set_gauge("test.obs.gauge", 8.0);
+  const auto snap = registry.snapshot();
+  const auto it = snap.gauges.find("test.obs.gauge");
+  ASSERT_NE(it, snap.gauges.end());
+  EXPECT_EQ(it->second, 8.0);
+}
+
+// -------------------------------------------------------- trace export --
+
+sim::Trace figure2_trace(const faults::figure2::Scenario& scenario) {
+  sim::Trace trace;
+  const DegradableAgreement protocol(scenario.spec.config);
+  RunExtras extras;
+  extras.trace = &trace;
+  (void)protocol.run(scenario.spec, scenario.adversary.get(), extras);
+  return trace;
+}
+
+TEST(TraceExport, EventsAreCanonicalAndRoundTrip) {
+  const auto scenario = faults::figure2::scenario_a(4);
+  const sim::Trace trace = figure2_trace(scenario);
+  const auto events = trace_events(trace);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.size(), trace.total_messages());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const auto key = [](const TraceEvent& e) {
+      return std::tuple(e.to, e.round, e.from, e.path);
+    };
+    EXPECT_LE(key(events[i - 1]), key(events[i]));
+  }
+
+  const std::string jsonl = trace_to_jsonl(events);
+  std::string error;
+  const auto parsed = read_trace_jsonl(jsonl, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, events);
+}
+
+TEST(TraceExport, IndistinguishableExecutionsExportIdentically) {
+  // The Figure 2 (a)/(b) pair: node B (id 2) must see byte-identical
+  // transcripts — the machine-checkable heart of the Theorem 2 proof.
+  const auto sa = faults::figure2::scenario_a(4);
+  const auto sb = faults::figure2::scenario_b(4);
+  const auto ea = trace_events(figure2_trace(sa));
+  const auto eb = trace_events(figure2_trace(sb));
+
+  const auto only_node = [](const std::vector<TraceEvent>& events,
+                            NodeId node) {
+    std::vector<TraceEvent> out;
+    for (const auto& e : events) {
+      if (e.to == node) out.push_back(e);
+    }
+    return out;
+  };
+  EXPECT_EQ(trace_to_jsonl(only_node(ea, sb.pivot_node)),
+            trace_to_jsonl(only_node(eb, sb.pivot_node)));
+
+  const auto diff = diff_traces(ea, eb);
+  bool pivot_seen = false;
+  for (const auto& n : diff.nodes) {
+    if (n.node == sb.pivot_node) {
+      pivot_seen = true;
+      EXPECT_TRUE(n.identical);
+    }
+  }
+  EXPECT_TRUE(pivot_seen);
+  // The executions differ overall (node A hears different stories).
+  EXPECT_FALSE(diff.identical());
+}
+
+TEST(TraceExport, DiffReportsFirstDivergence) {
+  TraceEvent base;
+  base.to = 1;
+  base.from = 0;
+  base.round = 1;
+  base.value_default = false;
+  base.value = 7;
+
+  TraceEvent changed = base;
+  changed.round = 2;
+  changed.value = 8;
+
+  const std::vector<TraceEvent> a{base, changed};
+  std::vector<TraceEvent> b{base, changed};
+  b[1].value = 9;
+
+  const auto diff = diff_traces(a, b);
+  ASSERT_EQ(diff.nodes.size(), 1u);
+  EXPECT_FALSE(diff.nodes[0].identical);
+  EXPECT_EQ(diff.nodes[0].first_divergence, 1u);
+  EXPECT_FALSE(diff.identical());
+
+  // One side a strict prefix of the other: divergence at the shared length.
+  const auto prefix_diff = diff_traces(a, {base});
+  ASSERT_EQ(prefix_diff.nodes.size(), 1u);
+  EXPECT_FALSE(prefix_diff.nodes[0].identical);
+  EXPECT_EQ(prefix_diff.nodes[0].first_divergence, 1u);
+}
+
+TEST(TraceExport, ReadRejectsMalformedLinesWithLineNumber) {
+  TraceEvent event;
+  event.to = 1;
+  event.from = 0;
+  event.round = 1;
+  const std::string valid_line = trace_to_jsonl({event});
+  ASSERT_TRUE(read_trace_jsonl(valid_line).has_value());
+
+  std::string error;
+  EXPECT_FALSE(read_trace_jsonl(valid_line + "not json\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(TraceExport, WireBytesMatchMessageSize) {
+  sim::Message msg;
+  msg.from = 0;
+  msg.to = 1;
+  msg.round = 1;
+  msg.path = {0};
+  msg.value = Value::of(7);
+  sim::Trace trace;
+  trace.record(msg);
+  const auto events = trace_events(trace);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].wire_bytes, sim::wire_size_bytes(msg));
+}
+
+// ------------------------------------------------------- bench schema --
+
+Json minimal_report() {
+  Json report = Json::object();
+  report.set("bench", "bench_x");
+  report.set("seed", 7);
+  report.set("jobs", 1);
+  report.set("git_describe", "abc123");
+  Json table = Json::object();
+  table.set("name", "t");
+  Json header = Json::array();
+  header.push_back("col");
+  table.set("header", header);
+  Json row = Json::array();
+  row.push_back("v");
+  Json rows = Json::array();
+  rows.push_back(row);
+  table.set("rows", rows);
+  Json tables = Json::array();
+  tables.push_back(table);
+  report.set("tables", tables);
+  report.set("metrics", metrics_to_json());
+  return report;
+}
+
+TEST(BenchSchema, AcceptsMinimalReport) {
+  std::string error;
+  EXPECT_TRUE(validate_bench_schema(minimal_report(), &error)) << error;
+}
+
+TEST(BenchSchema, RejectsMissingOrMistypedFields) {
+  for (const char* field : {"bench", "seed", "jobs", "git_describe", "tables",
+                            "metrics"}) {
+    Json report = minimal_report();
+    Json broken = Json::object();
+    for (const auto& [key, value] : report.as_object()) {
+      if (key != field) broken.set(key, value);
+    }
+    std::string error;
+    EXPECT_FALSE(validate_bench_schema(broken, &error)) << field;
+    EXPECT_NE(error.find(field), std::string::npos) << error;
+  }
+
+  Json mistyped = minimal_report();
+  mistyped.set("seed", "seven");
+  EXPECT_FALSE(validate_bench_schema(mistyped, nullptr));
+}
+
+TEST(BenchSchema, RejectsRowArityMismatch) {
+  Json report = minimal_report();
+  Json table = report.find("tables")->at(0);
+  Json row = Json::array();
+  row.push_back("a");
+  row.push_back("b");  // header has one column
+  Json rows = Json::array();
+  rows.push_back(row);
+  table.set("rows", rows);
+  Json tables = Json::array();
+  tables.push_back(table);
+  report.set("tables", tables);
+  std::string error;
+  EXPECT_FALSE(validate_bench_schema(report, &error));
+}
+
+TEST(BenchSchema, MetricsToJsonContainsRegistryCounters) {
+  {
+    const MetricsScope scope;
+    const Counter counter("test.obs.schema_counter");
+    counter.add(3);
+  }
+  const Json metrics = metrics_to_json();
+  const Json* counters = metrics.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const Json* value = counters->find("test.obs.schema_counter");
+  ASSERT_NE(value, nullptr);
+  EXPECT_GE(value->as_int(), 3);
+}
+
+}  // namespace
+}  // namespace da::obs

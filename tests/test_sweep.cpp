@@ -13,6 +13,7 @@
 
 #include "faults/behavior_search.hpp"
 #include "faults/search.hpp"
+#include "obs/metrics.hpp"
 #include "sweep/shard.hpp"
 #include "sweep/sweep.hpp"
 #include "sweep/thread_pool.hpp"
@@ -207,6 +208,64 @@ TEST(RunSweep, PerShardStatsPartitionTheWork) {
     sum += stats.executions;
   }
   EXPECT_EQ(sum, result.stats.performed);
+}
+
+TEST(SummarizeWorkers, RollsUpPerWorkerIncludingSkippedShards) {
+  // Hand-built stats: worker 0 ran two shards, worker 1 one, and two
+  // shards were cancelled before any worker picked them up (worker -1 —
+  // they must land in their own bucket, not vanish or pollute a worker's).
+  SweepStats stats;
+  const auto shard = [](int worker, std::uint64_t executions,
+                        double wall_ms) {
+    ShardStats s;
+    s.worker = worker;
+    s.executions = executions;
+    s.wall_ms = wall_ms;
+    return s;
+  };
+  stats.per_shard = {shard(0, 10, 1.5), shard(1, 7, 2.0), shard(0, 3, 0.5),
+                     shard(-1, 0, 0.0), shard(-1, 0, 0.0)};
+
+  const auto summaries = summarize_workers(stats);
+  ASSERT_EQ(summaries.size(), 3u);  // -1, 0, 1 in ascending worker order
+  EXPECT_EQ(summaries[0].worker, -1);
+  EXPECT_EQ(summaries[0].shards, 2u);
+  EXPECT_EQ(summaries[0].executions, 0u);
+  EXPECT_EQ(summaries[1].worker, 0);
+  EXPECT_EQ(summaries[1].shards, 2u);
+  EXPECT_EQ(summaries[1].executions, 13u);
+  EXPECT_DOUBLE_EQ(summaries[1].busy_ms, 2.0);
+  EXPECT_EQ(summaries[2].worker, 1);
+  EXPECT_EQ(summaries[2].executions, 7u);
+}
+
+TEST(RunSweep, PopulatesMetricsRegistry) {
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t sweeps_before = registry.counter_value("sweep.sweeps");
+  const std::uint64_t execs_before =
+      registry.counter_value("sweep.executions");
+  const auto wall_before = registry.snapshot().histograms["sweep.wall_ms"];
+  const auto busy_before =
+      registry.snapshot().histograms["sweep.worker_busy_ms"];
+
+  const ShardPlan plan = ShardPlan::even(64, 8);
+  SweepOptions options;
+  options.jobs = 2;
+  const auto result = run_sweep(
+      plan, options,
+      [&](std::uint64_t, std::size_t, Rng&) -> Visit { return {}; });
+  (void)result;
+
+  EXPECT_EQ(registry.counter_value("sweep.sweeps"), sweeps_before + 1);
+  EXPECT_EQ(registry.counter_value("sweep.executions"), execs_before + 64);
+  auto snap = registry.snapshot();
+  EXPECT_EQ(snap.histograms["sweep.wall_ms"].count, wall_before.count + 1);
+  // One busy_ms sample per worker that ran shards (the -1 bucket is
+  // excluded from the histogram).
+  EXPECT_GT(snap.histograms["sweep.worker_busy_ms"].count, busy_before.count);
+  EXPECT_LE(snap.histograms["sweep.worker_busy_ms"].count,
+            busy_before.count + 2);
+  EXPECT_EQ(snap.gauges["sweep.jobs"], 2.0);
 }
 
 // ------------------------------------------- ported faults/ searches ----

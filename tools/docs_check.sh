@@ -14,11 +14,21 @@
 #      entry points);
 #   5. the README Quickstart fence is byte-identical to the code part of
 #      examples/readme_quickstart.cpp (so the snippet can never rot —
-#      it is compiled by the regular build).
+#      it is compiled by the regular build);
+#   6. with --bench-json FILE (a real `bench --json` report; ctest feeds
+#      the bench_perf_smoke output via a fixture), every key named in the
+#      docs/OBSERVABILITY.md schema example is present in FILE, so the
+#      documented schema cannot drift from what benches actually emit.
 #
-# Usage: docs_check.sh [repo-root]   (defaults to the script's parent dir)
+# Usage: docs_check.sh [--bench-json FILE] [repo-root]
+#        (repo-root defaults to the script's parent dir)
 
 set -u
+bench_json=
+if [ "${1:-}" = "--bench-json" ]; then
+  bench_json=$2
+  shift 2
+fi
 root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
 cd "$root" || exit 2
 
@@ -89,6 +99,28 @@ sed -n '/^#include/,$p' examples/readme_quickstart.cpp \
 if ! diff -u "$tmpdir/readme" "$tmpdir/example" > "$tmpdir/diff" 2>&1; then
   cat "$tmpdir/diff" >&2
   fail "README Quickstart snippet != examples/readme_quickstart.cpp"
+fi
+
+# 6. The OBSERVABILITY.md schema example vs a real bench report: every
+#    JSON key the example documents must occur in the real file.
+if [ -n "$bench_json" ]; then
+  if [ ! -e "$bench_json" ]; then
+    fail "--bench-json: $bench_json does not exist"
+  elif [ ! -e docs/OBSERVABILITY.md ]; then
+    fail "--bench-json given but docs/OBSERVABILITY.md is missing"
+  else
+    awk '/^```json$/{grab=1; next} /^```$/{grab=0} grab' \
+        docs/OBSERVABILITY.md \
+      | grep -o '"[A-Za-z_][A-Za-z0-9_.]*" *:' \
+      | sed -e 's/^"//' -e 's/" *:$//' | sort -u > "$tmpdir/schema_keys"
+    if [ ! -s "$tmpdir/schema_keys" ]; then
+      fail "no json fence with keys found in docs/OBSERVABILITY.md"
+    fi
+    while IFS= read -r key; do
+      grep -q "\"$key\"" "$bench_json" || \
+        fail "schema example key \`$key\` absent from $bench_json"
+    done < "$tmpdir/schema_keys"
+  fi
 fi
 
 [ $status -eq 0 ] && echo "docs-check: OK"
