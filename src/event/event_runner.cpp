@@ -127,21 +127,26 @@ EventRunResult EventRunner::run() {
       msg.round = round;
       ++result.base.messages_sent;
       sent.add();
-      std::optional<sim::Message> delivered;
-      if (fabricated) {
-        delivered = options_.network == nullptr
-                        ? std::optional<sim::Message>(msg)
-                        : options_.network->transit(msg);
-      } else {
-        delivered = sim::filter_message(msg, options_, faulty);
+      for (const sim::Message& delivered :
+           sim::filter_fanout(msg, options_, faulty, fabricated)) {
+        double latency = latency_of(timing_, delivered);
+        if (options_.network != nullptr) {
+          // Injection holdback: deliver later within the receiver's round
+          // window. The fraction applies to the window remaining after the
+          // link latency, so (with clocks synchronized and max_latency <=
+          // timeout) a held-back message still beats the deadline.
+          const double frac = options_.network->holdback(delivered);
+          if (frac > 0.0 && timing_.timeout > latency) {
+            latency += frac * (timing_.timeout - latency);
+          }
+        }
+        queue.push(Event{.time = now + latency,
+                         .seq = seq++,
+                         .kind = Kind::kArrival,
+                         .node_index = 0,
+                         .round = round,
+                         .msg = delivered});
       }
-      if (!delivered) continue;
-      queue.push(Event{.time = now + latency_of(timing_, *delivered),
-                       .seq = seq++,
-                       .kind = Kind::kArrival,
-                       .node_index = 0,
-                       .round = round,
-                       .msg = *delivered});
     }
   };
 

@@ -1,0 +1,318 @@
+#include "inject/fault_plan.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace da::inject {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "dup";
+    case FaultKind::kDelay: return "delay";
+  }
+  return "?";
+}
+
+bool LinkRule::matches(const sim::Message& msg) const {
+  if (from != kNoNode && msg.from != from) return false;
+  if (to != kNoNode && msg.to != to) return false;
+  if (round >= 0 && msg.round != round) return false;
+  return true;
+}
+
+bool FaultPlan::crashed(NodeId id, int round) const {
+  for (const CrashWindow& w : crashes) {
+    if (w.down_at(id, round)) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> FaultPlan::validate(int n) const {
+  const auto node_ok = [n](NodeId id) {
+    return id == kNoNode || (id >= 0 && id < n);
+  };
+  for (const LinkRule& r : rules) {
+    if (!node_ok(r.from) || !node_ok(r.to)) {
+      return "rule references a node outside 0.." + std::to_string(n - 1);
+    }
+    if (r.kind == FaultKind::kDuplicate && r.copies < 2) {
+      return "dup rule needs copies >= 2";
+    }
+  }
+  for (const CrashWindow& w : crashes) {
+    if (w.node < 0 || w.node >= n) {
+      return "crash window references node " + std::to_string(w.node) +
+             " outside 0.." + std::to_string(n - 1);
+    }
+    if (w.down_from < 0 || (w.restart >= 0 && w.restart <= w.down_from)) {
+      return "crash window for node " + std::to_string(w.node) +
+             " has an empty or negative round range";
+    }
+  }
+  const auto rate_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!rate_ok(rates.drop) || !rate_ok(rates.duplicate) ||
+      !rate_ok(rates.delay)) {
+    return "rates must lie in [0, 1]";
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::string node_str(NodeId id) {
+  return id == kNoNode ? "*" : std::to_string(id);
+}
+
+std::string round_str(int round) {
+  return round < 0 ? "*" : std::to_string(round);
+}
+
+std::string rate_str(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", p);
+  return buf;
+}
+
+/// One `key=value` token. Returns false on shape mismatch.
+bool split_kv(const std::string& token, std::string& key, std::string& val) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+    return false;
+  }
+  key = token.substr(0, eq);
+  val = token.substr(eq + 1);
+  return true;
+}
+
+bool parse_node(const std::string& val, NodeId& out) {
+  if (val == "*") {
+    out = kNoNode;
+    return true;
+  }
+  int v = 0;
+  const auto [p, ec] = std::from_chars(val.data(), val.data() + val.size(), v);
+  if (ec != std::errc{} || p != val.data() + val.size() || v < 0) return false;
+  out = v;
+  return true;
+}
+
+bool parse_round(const std::string& val, int& out) {
+  if (val == "*") {
+    out = -1;
+    return true;
+  }
+  const auto [p, ec] =
+      std::from_chars(val.data(), val.data() + val.size(), out);
+  return ec == std::errc{} && p == val.data() + val.size() && out >= 0;
+}
+
+bool parse_double(const std::string& val, double& out) {
+  char* end = nullptr;
+  out = std::strtod(val.c_str(), &end);
+  return end == val.c_str() + val.size() && !val.empty();
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+      ++pos;
+    }
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t') ++end;
+    if (end > pos) tokens.push_back(line.substr(pos, end - pos));
+    pos = end;
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::string FaultPlan::serialize() const {
+  std::string out = "seed " + std::to_string(seed) + "\n";
+  for (const LinkRule& r : rules) {
+    out += std::string(da::inject::to_string(r.kind)) + " from=" + node_str(r.from) +
+           " to=" + node_str(r.to) + " round=" + round_str(r.round);
+    if (r.kind == FaultKind::kDuplicate) {
+      out += " copies=" + std::to_string(r.copies);
+    }
+    out += "\n";
+  }
+  for (const CrashWindow& w : crashes) {
+    out += "crash node=" + std::to_string(w.node) +
+           " down=" + std::to_string(w.down_from);
+    if (w.restart >= 0) out += " restart=" + std::to_string(w.restart);
+    out += "\n";
+  }
+  if (rates.any()) {
+    out += "rates drop=" + rate_str(rates.drop) +
+           " dup=" + rate_str(rates.duplicate) +
+           " delay=" + rate_str(rates.delay) + "\n";
+  }
+  return out;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
+                                          std::string* error) {
+  const auto fail = [error](std::size_t line_no, const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return std::nullopt;
+  };
+
+  FaultPlan plan;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') {
+      if (pos > text.size()) break;
+      continue;
+    }
+    const std::string& verb = tokens[0];
+
+    if (verb == "seed") {
+      if (tokens.size() != 2) return fail(line_no, "seed wants one value");
+      const std::string& v = tokens[1];
+      const auto [p, ec] =
+          std::from_chars(v.data(), v.data() + v.size(), plan.seed);
+      if (ec != std::errc{} || p != v.data() + v.size()) {
+        return fail(line_no, "bad seed `" + v + "`");
+      }
+    } else if (verb == "drop" || verb == "dup" || verb == "delay") {
+      LinkRule rule;
+      rule.kind = verb == "drop"  ? FaultKind::kDrop
+                  : verb == "dup" ? FaultKind::kDuplicate
+                                  : FaultKind::kDelay;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        std::string key, val;
+        if (!split_kv(tokens[i], key, val)) {
+          return fail(line_no, "expected key=value, got `" + tokens[i] + "`");
+        }
+        if (key == "from" && parse_node(val, rule.from)) continue;
+        if (key == "to" && parse_node(val, rule.to)) continue;
+        if (key == "round" && parse_round(val, rule.round)) continue;
+        if (key == "copies" && rule.kind == FaultKind::kDuplicate) {
+          int c = 0;
+          const auto [p, ec] =
+              std::from_chars(val.data(), val.data() + val.size(), c);
+          if (ec == std::errc{} && p == val.data() + val.size() && c >= 2) {
+            rule.copies = c;
+            continue;
+          }
+        }
+        return fail(line_no, "bad " + verb + " field `" + tokens[i] + "`");
+      }
+      plan.rules.push_back(rule);
+    } else if (verb == "crash") {
+      CrashWindow window;
+      bool have_node = false;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        std::string key, val;
+        if (!split_kv(tokens[i], key, val)) {
+          return fail(line_no, "expected key=value, got `" + tokens[i] + "`");
+        }
+        int v = 0;
+        const auto [p, ec] =
+            std::from_chars(val.data(), val.data() + val.size(), v);
+        const bool is_int =
+            ec == std::errc{} && p == val.data() + val.size() && v >= 0;
+        if (key == "node" && is_int) {
+          window.node = v;
+          have_node = true;
+        } else if (key == "down" && is_int) {
+          window.down_from = v;
+        } else if (key == "restart" && is_int) {
+          window.restart = v;
+        } else {
+          return fail(line_no, "bad crash field `" + tokens[i] + "`");
+        }
+      }
+      if (!have_node) return fail(line_no, "crash wants node=<id>");
+      plan.crashes.push_back(window);
+    } else if (verb == "rates") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        std::string key, val;
+        double p = 0.0;
+        if (!split_kv(tokens[i], key, val) || !parse_double(val, p) ||
+            p < 0.0 || p > 1.0) {
+          return fail(line_no, "bad rates field `" + tokens[i] + "`");
+        }
+        if (key == "drop") {
+          plan.rates.drop = p;
+        } else if (key == "dup") {
+          plan.rates.duplicate = p;
+        } else if (key == "delay") {
+          plan.rates.delay = p;
+        } else {
+          return fail(line_no, "unknown rate `" + key + "`");
+        }
+      }
+    } else {
+      return fail(line_no, "unknown directive `" + verb + "`");
+    }
+    if (pos > text.size()) break;
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_seed(std::uint64_t seed, int n, int rounds) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(mix64(seed, 0x1417EC7ULL));
+
+  // Moderate background rates; any heavier and every execution degenerates
+  // to all-defaults, which stops exercising the interesting vote paths.
+  plan.rates.drop = 0.02 + 0.10 * rng.uniform();
+  plan.rates.duplicate = 0.10 * rng.uniform();
+  plan.rates.delay = 0.25 * rng.uniform();
+
+  // Half the plans crash-restart one node for a one-round (sometimes
+  // permanent) outage.
+  if (rng.chance(0.5) && n > 0 && rounds > 1) {
+    CrashWindow window;
+    window.node = static_cast<NodeId>(rng.below(static_cast<uint64_t>(n)));
+    window.down_from =
+        1 + static_cast<int>(rng.below(static_cast<uint64_t>(rounds - 1)));
+    window.restart = rng.chance(0.8) ? window.down_from + 1 : -1;
+    plan.crashes.push_back(window);
+  }
+
+  // A couple of scripted per-link rules on random links/rounds.
+  const int rule_count = static_cast<int>(rng.below(3));  // 0..2
+  for (int i = 0; i < rule_count && n > 1; ++i) {
+    LinkRule rule;
+    rule.from = static_cast<NodeId>(rng.below(static_cast<uint64_t>(n)));
+    rule.to = static_cast<NodeId>(rng.below(static_cast<uint64_t>(n)));
+    rule.round = static_cast<int>(rng.below(static_cast<uint64_t>(rounds)));
+    switch (rng.below(3)) {
+      case 0: rule.kind = FaultKind::kDrop; break;
+      case 1:
+        rule.kind = FaultKind::kDuplicate;
+        rule.copies = 2 + static_cast<int>(rng.below(2));
+        break;
+      default: rule.kind = FaultKind::kDelay; break;
+    }
+    plan.rules.push_back(rule);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  return std::to_string(rules.size()) + " rules, " +
+         std::to_string(crashes.size()) + " crashes, rates d=" +
+         rate_str(rates.drop) + "/u=" + rate_str(rates.duplicate) +
+         "/l=" + rate_str(rates.delay) + ", seed " + std::to_string(seed);
+}
+
+}  // namespace da::inject

@@ -1,0 +1,149 @@
+#include "inject/injection_network.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace da::inject {
+
+namespace {
+
+/// Independent decision hash per (plan seed, purpose, message identity).
+/// `purpose` decouples the drop/dup/delay draws so one message can be,
+/// say, duplicated without that also biasing its delay draw.
+double unit_draw(std::uint64_t seed, std::uint64_t purpose,
+                 const sim::Message& msg) {
+  std::uint64_t h = mix64(seed, purpose);
+  h = mix64(h, static_cast<std::uint64_t>(msg.from));
+  h = mix64(h, static_cast<std::uint64_t>(msg.to));
+  h = mix64(h, static_cast<std::uint64_t>(msg.round));
+  h = mix64(h, msg.path.hash());
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kDropDraw = 0xD0;
+constexpr std::uint64_t kDupDraw = 0xD1;
+constexpr std::uint64_t kDelayDraw = 0xD2;
+constexpr std::uint64_t kDelayFracDraw = 0xD3;
+
+}  // namespace
+
+obs::Json InjectionStats::to_json() const {
+  obs::Json j = obs::Json::object();
+  j.set("examined", static_cast<std::int64_t>(examined))
+      .set("dropped", static_cast<std::int64_t>(dropped))
+      .set("duplicated", static_cast<std::int64_t>(duplicated))
+      .set("delayed", static_cast<std::int64_t>(delayed))
+      .set("crash_dropped", static_cast<std::int64_t>(crash_dropped));
+  return j;
+}
+
+InjectionNetwork::InjectionNetwork(FaultPlan plan, sim::NetworkModel* inner)
+    : plan_(std::move(plan)), inner_(inner) {}
+
+InjectionNetwork::Decision InjectionNetwork::decide(
+    const sim::Message& msg) const {
+  Decision d;
+  // Crash windows dominate: a down endpoint neither sends nor receives.
+  if (plan_.crashed(msg.from, msg.round) || plan_.crashed(msg.to, msg.round)) {
+    d.crash = true;
+    return d;
+  }
+  // First matching scripted rule wins.
+  for (const LinkRule& rule : plan_.rules) {
+    if (!rule.matches(msg)) continue;
+    switch (rule.kind) {
+      case FaultKind::kDrop: d.drop = true; return d;
+      case FaultKind::kDuplicate: d.copies = rule.copies; return d;
+      case FaultKind::kDelay:
+        d.delay_frac = 0.5 + 0.4 * unit_draw(plan_.seed, kDelayFracDraw, msg);
+        return d;
+    }
+  }
+  // Background rates, each from an independent per-message draw.
+  if (plan_.rates.drop > 0.0 &&
+      unit_draw(plan_.seed, kDropDraw, msg) < plan_.rates.drop) {
+    d.drop = true;
+    return d;
+  }
+  if (plan_.rates.duplicate > 0.0 &&
+      unit_draw(plan_.seed, kDupDraw, msg) < plan_.rates.duplicate) {
+    d.copies = 2;
+  }
+  if (plan_.rates.delay > 0.0 &&
+      unit_draw(plan_.seed, kDelayDraw, msg) < plan_.rates.delay) {
+    d.delay_frac = 0.5 + 0.4 * unit_draw(plan_.seed, kDelayFracDraw, msg);
+  }
+  return d;
+}
+
+bool InjectionNetwork::deliver(const sim::Message& msg) {
+  // NetworkModel's single-copy entry points funnel through transit().
+  const Decision d = decide(msg);
+  return !d.crash && !d.drop;
+}
+
+std::optional<sim::Message> InjectionNetwork::transit(
+    const sim::Message& msg) {
+  std::vector<sim::Message> copies = transit_fanout(msg);
+  if (copies.empty()) return std::nullopt;
+  return std::move(copies.front());
+}
+
+std::vector<sim::Message> InjectionNetwork::transit_fanout(
+    const sim::Message& msg) {
+  static const obs::Counter examined("inject.examined");
+  static const obs::Counter dropped("inject.dropped");
+  static const obs::Counter duplicated("inject.duplicated");
+  static const obs::Counter delayed("inject.delayed");
+  static const obs::Counter crash_dropped("inject.crash_dropped");
+
+  ++stats_.examined;
+  examined.add();
+  const Decision d = decide(msg);
+  if (d.crash) {
+    ++stats_.crash_dropped;
+    crash_dropped.add();
+    return {};
+  }
+  if (d.drop) {
+    ++stats_.dropped;
+    dropped.add();
+    return {};
+  }
+
+  // The inner model sees the message once; its verdict (drop, rewrite)
+  // applies to every injected copy — duplication happens on *this* hop.
+  std::vector<sim::Message> inner_copies =
+      inner_ != nullptr ? inner_->transit_fanout(msg)
+                        : std::vector<sim::Message>{msg};
+  if (inner_copies.empty()) return {};
+
+  if (d.delay_frac > 0.0) {
+    ++stats_.delayed;
+    delayed.add();
+  }
+  if (d.copies > 1) {
+    const std::size_t base = inner_copies.size();
+    for (int c = 1; c < d.copies; ++c) {
+      for (std::size_t i = 0; i < base; ++i) {
+        inner_copies.push_back(inner_copies[i]);
+        ++stats_.duplicated;
+        duplicated.add();
+      }
+    }
+  }
+  return inner_copies;
+}
+
+double InjectionNetwork::holdback(const sim::Message& msg) {
+  const Decision d = decide(msg);
+  double frac = d.crash || d.drop ? 0.0 : d.delay_frac;
+  if (inner_ != nullptr) {
+    frac = std::max(frac, inner_->holdback(msg));
+  }
+  return frac;
+}
+
+}  // namespace da::inject

@@ -25,7 +25,13 @@ TraceEvent event_from_message(const sim::Message& msg) {
 }
 
 auto event_key(const TraceEvent& ev) {
-  return std::tie(ev.to, ev.round, ev.from, ev.path);
+  // value/aux tiebreak keeps the order total even when an adversary or a
+  // duplicating network produces several events in one (to, round, from,
+  // path) slot — without it, same-slot events would keep their (runtime-
+  // dependent) insertion order and byte-identity across runtimes would be
+  // a coin flip.
+  return std::tie(ev.to, ev.round, ev.from, ev.path, ev.value_default,
+                  ev.value, ev.aux);
 }
 
 }  // namespace

@@ -8,6 +8,13 @@ namespace da::protocols {
 
 Value vote(std::span<const Value> values, std::size_t alpha) {
   DA_EXPECTS(alpha >= 1);
+#ifdef DA_MUTATION_BUG
+  // Deliberately planted protocol bug for the differential harness's
+  // mutation check (-DDA_MUTATION_BUG=ON, tests/test_differential.cpp):
+  // weakening the VOTE threshold by one lets a single liar's echo tie the
+  // count and flip a D.1 scenario to V_d. Never enable in real builds.
+  if (alpha > 1) --alpha;
+#endif
   std::unordered_map<Value, std::size_t> counts;
   counts.reserve(values.size());
   for (const Value& v : values) ++counts[v];

@@ -55,29 +55,25 @@ sim::RunResult ThreadedRunner::run() {
     for (sim::Message& msg : outbox) {
       DA_EXPECTS(msg.from == from);
       msg.round = round;
-      std::optional<sim::Message> delivered;
+      std::vector<sim::Message> copies;
       {
         const std::lock_guard<std::mutex> lock(shared_mutex);
         ++result.messages_sent;
-        if (fabricated) {
-          delivered = options_.network == nullptr
-                          ? std::optional<sim::Message>(msg)
-                          : options_.network->transit(msg);
-        } else {
-          delivered = sim::filter_message(msg, options_, faulty);
-        }
-        if (delivered) {
-          ++result.messages_delivered;
-          if (options_.trace != nullptr) options_.trace->record(*delivered);
+        copies = sim::filter_fanout(msg, options_, faulty, fabricated);
+        result.messages_delivered += copies.size();
+        if (options_.trace != nullptr) {
+          for (const sim::Message& delivered : copies) {
+            options_.trace->record(delivered);
+          }
         }
       }
       sent.add();
-      if (delivered) {
+      for (const sim::Message& delivered : copies) {
         delivered_count.add();
-        wire_bytes.add(sim::wire_size_bytes(*delivered));
-        const auto it = index.find(delivered->to);
+        wire_bytes.add(sim::wire_size_bytes(delivered));
+        const auto it = index.find(delivered.to);
         DA_EXPECTS(it != index.end());
-        mailboxes[it->second]->deposit(round, *delivered);
+        mailboxes[it->second]->deposit(round, delivered);
       }
     }
   };

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/message.hpp"
@@ -23,6 +24,31 @@ class NetworkModel {
   /// Default: all-or-nothing delivery with content intact.
   [[nodiscard]] virtual std::optional<Message> transit(const Message& msg) {
     return deliver(msg) ? std::optional<Message>(msg) : std::nullopt;
+  }
+
+  /// Fan-out generalization for networks that may deliver *several* copies
+  /// of one send (duplication faults — src/inject/). All three runtimes
+  /// route every send through this entry point. Implementations must keep
+  /// the result a pure function of the message identity, never of call
+  /// order. Default: zero-or-one copies via transit().
+  [[nodiscard]] virtual std::vector<Message> transit_fanout(
+      const Message& msg) {
+    std::optional<Message> one = transit(msg);
+    if (one) return {std::move(*one)};
+    return {};
+  }
+
+  /// Injection hook for the event-driven runtime: an extra in-window
+  /// delivery delay for `msg`, as a fraction [0,1) of the receiver's
+  /// remaining round window after link latency. The round-synchronous
+  /// runtimes ignore it (intra-round delivery order is canonicalized by
+  /// sort_inbox), so a holdback perturbs real-time arrival order without
+  /// changing any observable decision — which is exactly what the
+  /// differential-replay harness asserts. Must be a pure function of the
+  /// message identity.
+  [[nodiscard]] virtual double holdback(const Message& msg) {
+    (void)msg;
+    return 0.0;
   }
 };
 

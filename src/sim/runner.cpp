@@ -32,6 +32,26 @@ std::optional<Message> filter_message(const Message& msg,
   return out;
 }
 
+std::vector<Message> filter_fanout(const Message& msg,
+                                   const RunOptions& options,
+                                   bool from_is_faulty, bool fabricated) {
+  std::optional<Message> out = msg;
+  if (!fabricated && from_is_faulty) {
+    DA_EXPECTS(options.adversary != nullptr);
+    out = options.adversary->corrupt(msg);
+    if (!out) return {};
+    // The adversary may rewrite content but not impersonate other nodes or
+    // time-travel: receivers would reject those, so normalize here.
+    out->from = msg.from;
+    out->to = msg.to;
+    out->round = msg.round;
+  }
+  if (options.network != nullptr) {
+    return options.network->transit_fanout(*out);
+  }
+  return {std::move(*out)};
+}
+
 void sort_inbox(std::vector<Message>& inbox) {
   // Total order: a fabricating adversary may inject duplicates of a
   // (from, path) slot with different contents, and both runtimes must
@@ -87,17 +107,13 @@ RunResult SyncRunner::run() {
       sent.add();
       // Fabricated messages already carry adversarial content; they skip
       // corrupt() but still traverse the network model.
-      std::optional<Message> delivered =
-          fabricated ? (options_.network == nullptr
-                            ? std::optional<Message>(msg)
-                            : options_.network->transit(msg))
-                     : filter_message(msg, options_, faulty);
-      if (delivered) {
+      for (const Message& delivered :
+           filter_fanout(msg, options_, faulty, fabricated)) {
         ++result.messages_delivered;
         delivered_count.add();
-        wire_bytes.add(wire_size_bytes(*delivered));
-        if (options_.trace != nullptr) options_.trace->record(*delivered);
-        inflight[delivered->to].push_back(*delivered);
+        wire_bytes.add(wire_size_bytes(delivered));
+        if (options_.trace != nullptr) options_.trace->record(delivered);
+        inflight[delivered.to].push_back(delivered);
       }
     }
   };

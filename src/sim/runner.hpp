@@ -57,6 +57,15 @@ class SyncRunner {
                                                     const RunOptions& options,
                                                     bool from_is_faulty);
 
+/// Fan-out variant used by all three runtimes' dispatch loops: adversary
+/// (skipped for fabricated messages, which already carry adversarial
+/// content), then the network model's transit_fanout. A duplicating
+/// network (src/inject/) may return several copies; a dropping one, none.
+[[nodiscard]] std::vector<Message> filter_fanout(const Message& msg,
+                                                 const RunOptions& options,
+                                                 bool from_is_faulty,
+                                                 bool fabricated);
+
 /// True if `id` is in `options.faulty`.
 [[nodiscard]] bool is_faulty(const RunOptions& options, NodeId id);
 

@@ -11,9 +11,16 @@
 //  3. random *malformed-traffic* storms (fabricated garbage metadata) —
 //     receivers must be unaffected.
 
+//
+// A fixed regression corpus (tests/corpus/fuzz_*.txt) replays first: any
+// (seed, ordinal) pair a randomized sweep ever flagged gets appended there
+// and is re-checked verbatim on every run thereafter.
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/agreement.hpp"
@@ -149,6 +156,95 @@ FuzzDraw draw_scenario(std::uint64_t seed, std::uint64_t ordinal, int max_n) {
   return draw;
 }
 
+/// One ordinal of the conditions fuzz, shared verbatim by the randomized
+/// sweep and the regression-corpus replay. Returns true on a violation
+/// ("hit"), with `failure` describing it; `executed` is false for skipped
+/// (oversized) draws.
+bool conditions_case(std::uint64_t seed, std::uint64_t ordinal,
+                     std::string* failure, bool* executed) {
+  FuzzDraw draw = draw_scenario(seed, ordinal, 10);
+  *executed = !draw.skipped;
+  if (draw.skipped) return false;
+  const DegradableAgreement protocol(draw.spec.config);
+  RandomTableAdversary adversary(draw.behaviour_seed, draw.spec.sender_value);
+  const ConditionReport report = protocol.run_and_check(draw.spec, &adversary);
+  if (!report.satisfied || !report.corollary_m_plus_1) {
+    *failure = "iter " + std::to_string(ordinal) + ": " +
+               draw.spec.to_string() + " -> " + report.detail;
+    return true;
+  }
+  return false;
+}
+
+/// One ordinal of the cross-runtime fuzz: the same behaviour replayed on
+/// the sim, threaded and event runtimes must decide identically.
+bool runtimes_case(std::uint64_t seed, std::uint64_t ordinal,
+                   std::string* failure, bool* executed) {
+  FuzzDraw draw = draw_scenario(seed, ordinal, 9);
+  *executed = !draw.skipped;
+  if (draw.skipped) return false;
+  const ScenarioSpec& spec = draw.spec;
+  const DegradableAgreement protocol(spec.config);
+
+  RandomTableAdversary a1(draw.behaviour_seed, spec.sender_value);
+  const Outcome sim_out = protocol.run(spec, &a1);
+
+  RandomTableAdversary a2(draw.behaviour_seed, spec.sender_value);
+  const Outcome thr_out = protocol.run_threaded(spec, &a2);
+  if (sim_out.decisions != thr_out.decisions) {
+    *failure = "threaded mismatch: " + spec.to_string();
+    return true;
+  }
+
+  RandomTableAdversary a3(draw.behaviour_seed, spec.sender_value);
+  sim::RunOptions run_options;
+  run_options.faulty = spec.faulty;
+  run_options.adversary = &a3;
+  event::EventRunner event_runner(
+      core::make_byz_processes(spec.config, spec.sender, spec.sender_value),
+      std::move(run_options), event::TimingModel{},
+      event::perfect_clocks(spec.config.n));
+  if (sim_out.decisions != event_runner.run().base.decisions) {
+    *failure = "event mismatch: " + spec.to_string();
+    return true;
+  }
+  return false;
+}
+
+/// Replays `corpus_file` (lines of `seed ordinal`, # comments) through one
+/// of the case functions above. Corpus draws are checked before any
+/// randomized exploration runs — see the corpus tests below, which are
+/// defined (and therefore run) first.
+void replay_corpus(const std::string& corpus_file,
+                   bool (*fuzz_case)(std::uint64_t, std::uint64_t,
+                                     std::string*, bool*)) {
+  std::ifstream in(std::string(DA_TEST_CORPUS_DIR) + "/" + corpus_file);
+  ASSERT_TRUE(in.is_open()) << "missing tests/corpus/" << corpus_file;
+  std::string line;
+  int replayed = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::uint64_t seed = 0;
+    std::uint64_t ordinal = 0;
+    ASSERT_TRUE(fields >> seed >> ordinal) << "bad corpus line: " << line;
+    std::string failure;
+    bool executed = false;
+    EXPECT_FALSE(fuzz_case(seed, ordinal, &failure, &executed))
+        << corpus_file << " " << seed << " " << ordinal << ": " << failure;
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 4) << corpus_file << " corpus is unexpectedly small";
+}
+
+TEST(Fuzz, CorpusConditionsReplay) {
+  replay_corpus("fuzz_conditions.txt", conditions_case);
+}
+
+TEST(Fuzz, CorpusRuntimesReplay) {
+  replay_corpus("fuzz_runtimes.txt", runtimes_case);
+}
+
 TEST(Fuzz, RandomBehavioursNeverViolateConditions) {
   constexpr std::uint64_t kIterations = 120;
   const sweep::ShardPlan plan = sweep::ShardPlan::even(kIterations, 8);
@@ -158,19 +254,10 @@ TEST(Fuzz, RandomBehavioursNeverViolateConditions) {
   const auto result = sweep::run_sweep(
       plan, options,
       [&](std::uint64_t ordinal, std::size_t shard, Rng&) -> sweep::Visit {
-        FuzzDraw draw = draw_scenario(0xF00D, ordinal, 10);
-        if (draw.skipped) return {.hit = false, .executions = 0};
-        const DegradableAgreement protocol(draw.spec.config);
-        RandomTableAdversary adversary(draw.behaviour_seed,
-                                       draw.spec.sender_value);
-        const ConditionReport report =
-            protocol.run_and_check(draw.spec, &adversary);
-        if (!report.satisfied || !report.corollary_m_plus_1) {
-          failures[shard] = "iter " + std::to_string(ordinal) + ": " +
-                            draw.spec.to_string() + " -> " + report.detail;
-          return {.hit = true};
-        }
-        return {};
+        bool executed = false;
+        const bool hit =
+            conditions_case(0xF00D, ordinal, &failures[shard], &executed);
+        return {.hit = hit, .executions = executed ? 1u : 0u};
       });
   EXPECT_FALSE(result.first_hit.has_value())
       << failures[*result.first_hit_shard];
@@ -186,35 +273,10 @@ TEST(Fuzz, RandomBehavioursMatchAcrossRuntimes) {
   const auto result = sweep::run_sweep(
       plan, options,
       [&](std::uint64_t ordinal, std::size_t shard, Rng&) -> sweep::Visit {
-        FuzzDraw draw = draw_scenario(0xBEEF, ordinal, 9);
-        if (draw.skipped) return {.hit = false, .executions = 0};
-        const ScenarioSpec& spec = draw.spec;
-        const DegradableAgreement protocol(spec.config);
-
-        RandomTableAdversary a1(draw.behaviour_seed, spec.sender_value);
-        const Outcome sim_out = protocol.run(spec, &a1);
-
-        RandomTableAdversary a2(draw.behaviour_seed, spec.sender_value);
-        const Outcome thr_out = protocol.run_threaded(spec, &a2);
-        if (sim_out.decisions != thr_out.decisions) {
-          failures[shard] = "threaded mismatch: " + spec.to_string();
-          return {.hit = true};
-        }
-
-        RandomTableAdversary a3(draw.behaviour_seed, spec.sender_value);
-        sim::RunOptions run_options;
-        run_options.faulty = spec.faulty;
-        run_options.adversary = &a3;
-        event::EventRunner event_runner(
-            core::make_byz_processes(spec.config, spec.sender,
-                                     spec.sender_value),
-            std::move(run_options), event::TimingModel{},
-            event::perfect_clocks(spec.config.n));
-        if (sim_out.decisions != event_runner.run().base.decisions) {
-          failures[shard] = "event mismatch: " + spec.to_string();
-          return {.hit = true};
-        }
-        return {};
+        bool executed = false;
+        const bool hit =
+            runtimes_case(0xBEEF, ordinal, &failures[shard], &executed);
+        return {.hit = hit, .executions = executed ? 1u : 0u};
       });
   EXPECT_FALSE(result.first_hit.has_value())
       << failures[*result.first_hit_shard];

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "faults/adversaries.hpp"
+
 namespace da::channels {
 namespace {
 
@@ -76,6 +78,116 @@ TEST(Recovery, StatsAreConsistent) {
   EXPECT_EQ(stats.safe_frames() + stats.unsafe_failures, stats.frames);
   EXPECT_GE(stats.fault_free_frames, 0);
   EXPECT_LE(stats.fault_free_frames, stats.frames);
+}
+
+TEST(Recovery, SensorFaultsRepairDuringRetries) {
+  // Exercises the sensor-repair branch of the backward-recovery loop:
+  // every frame starts with a faulty (equivocating) sensor, repair always
+  // succeeds, so frames that voted V_d on the first attempt recover on a
+  // retry with the repaired sensor.
+  const ChannelSystem system({.kind = Kind::kDegradable, .m = 1, .u = 2});
+  RecoveryParams params;
+  params.frames = 50;
+  params.channel_fault_prob = 0.0;
+  params.sensor_fault_prob = 1.0;
+  params.repair_prob = 1.0;
+  params.max_retries = 3;
+  params.seed = 6006;
+  const RecoveryStats stats = run_recovery_experiment(system, params);
+  EXPECT_EQ(stats.frames, 50);
+  EXPECT_EQ(stats.fault_free_frames, 0);  // the sensor is down every frame
+  EXPECT_GT(stats.backward_recovered, 0);
+  // With guaranteed repair and retries left, no frame exhausts its budget.
+  EXPECT_EQ(stats.default_exhausted, 0);
+  EXPECT_EQ(stats.safe_frames() + stats.unsafe_failures, stats.frames);
+}
+
+TEST(Recovery, SensorFaultsWithoutRepairExhaustRetries) {
+  // repair_prob = 0 freezes the fault pattern, so every retry replays the
+  // identical frame: a first-attempt V_d can only end in default_exhausted
+  // and backward recovery never fires.
+  const ChannelSystem system({.kind = Kind::kDegradable, .m = 1, .u = 2});
+  RecoveryParams params;
+  params.frames = 50;
+  params.channel_fault_prob = 0.0;
+  params.sensor_fault_prob = 1.0;
+  params.repair_prob = 0.0;
+  params.max_retries = 2;
+  params.seed = 7007;
+  const RecoveryStats stats = run_recovery_experiment(system, params);
+  EXPECT_EQ(stats.backward_recovered, 0);
+  EXPECT_EQ(stats.safe_frames() + stats.unsafe_failures, stats.frames);
+}
+
+TEST(Recovery, ZeroRetryBudgetCountsExhaustionImmediately) {
+  const ChannelSystem system({.kind = Kind::kDegradable, .m = 1, .u = 2});
+  RecoveryParams params;
+  params.frames = 60;
+  params.channel_fault_prob = 0.35;
+  params.max_retries = 0;  // no backward recovery at all
+  params.max_concurrent_faults = 2;
+  params.seed = 8008;
+  const RecoveryStats stats = run_recovery_experiment(system, params);
+  EXPECT_EQ(stats.backward_recovered, 0);
+  EXPECT_EQ(stats.unsafe_failures, 0);  // f <= u: degradable stays safe
+  EXPECT_EQ(stats.safe_frames(), stats.frames);
+}
+
+TEST(Recovery, DeterministicWithSensorFaults) {
+  // The sensor-fault draws and the sensor-repair branch must replay
+  // identically for a fixed seed, like every other stochastic path.
+  const ChannelSystem system({.kind = Kind::kDegradable, .m = 1, .u = 2});
+  RecoveryParams params;
+  params.frames = 40;
+  params.channel_fault_prob = 0.2;
+  params.sensor_fault_prob = 0.5;
+  params.repair_prob = 0.6;
+  params.max_concurrent_faults = 2;
+  params.seed = 9009;
+  const RecoveryStats a = run_recovery_experiment(system, params);
+  const RecoveryStats b = run_recovery_experiment(system, params);
+  EXPECT_EQ(a.forward_recovered, b.forward_recovered);
+  EXPECT_EQ(a.backward_recovered, b.backward_recovered);
+  EXPECT_EQ(a.unsafe_failures, b.unsafe_failures);
+  EXPECT_EQ(a.default_exhausted, b.default_exhausted);
+  EXPECT_EQ(a.fault_free_frames, b.fault_free_frames);
+}
+
+TEST(Recovery, CrashingChannelsStayWithinDegradedGuarantee) {
+  // Crash-restart composed with the frame pipeline: channels that go
+  // silent mid-agreement (crash_after) are exactly the transient faults
+  // the recovery policy is built for — the degradable system must never
+  // vote an incorrect value while f <= u (C.2), only mask or default.
+  const ChannelSystem system({.kind = Kind::kDegradable, .m = 1, .u = 2});
+  const auto adversary = faults::crash_after(0);
+  for (int first = 0; first < system.config().channel_count(); ++first) {
+    for (int second = first; second < system.config().channel_count();
+         ++second) {
+      std::vector<int> faulty{first};
+      if (second != first) faulty.push_back(second);  // f = 1 or 2 <= u
+      const FrameResult result = system.run_frame(
+          Value::of(33), faulty, /*sensor_faulty=*/false, *adversary,
+          /*faulty_output=*/Value::of(1234));
+      EXPECT_NE(result.outcome, VoterOutcome::kIncorrect)
+          << "faulty channels " << first << "," << second;
+      EXPECT_TRUE(result.divergence_graceful);
+    }
+  }
+}
+
+TEST(Recovery, CrashedSensorYieldsSafeFrame) {
+  // A sensor that crashes after distributing round 0 (or stays silent
+  // entirely) must drive the channels to the safe default, never to an
+  // incorrect vote.
+  const ChannelSystem system({.kind = Kind::kDegradable, .m = 1, .u = 2});
+  for (const auto& adversary :
+       {faults::crash_after(0), faults::silent()}) {
+    const FrameResult result = system.run_frame(
+        Value::of(55), /*faulty_channels=*/{}, /*sensor_faulty=*/true,
+        *adversary, /*faulty_output=*/Value::of(999));
+    EXPECT_NE(result.outcome, VoterOutcome::kIncorrect);
+    EXPECT_TRUE(result.divergence_graceful);
+  }
 }
 
 TEST(Recovery, DeterministicForFixedSeed) {

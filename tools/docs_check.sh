@@ -18,17 +18,25 @@
 #   6. with --bench-json FILE (a real `bench --json` report; ctest feeds
 #      the bench_perf_smoke output via a fixture), every key named in the
 #      docs/OBSERVABILITY.md schema example is present in FILE, so the
-#      documented schema cannot drift from what benches actually emit.
+#      documented schema cannot drift from what benches actually emit;
+#   7. with --plan-check BIN (the built examples/inject_replay.cpp), the
+#      ```plan fence in docs/INJECTION.md is fed to the real FaultPlan
+#      parser via `BIN --check-plan`, so the documented example plan
+#      cannot drift from the grammar the parser accepts.
 #
-# Usage: docs_check.sh [--bench-json FILE] [repo-root]
+# Usage: docs_check.sh [--bench-json FILE] [--plan-check BIN] [repo-root]
 #        (repo-root defaults to the script's parent dir)
 
 set -u
 bench_json=
-if [ "${1:-}" = "--bench-json" ]; then
-  bench_json=$2
-  shift 2
-fi
+plan_check=
+while :; do
+  case ${1:-} in
+    --bench-json) bench_json=$2; shift 2 ;;
+    --plan-check) plan_check=$2; shift 2 ;;
+    *) break ;;
+  esac
+done
 root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
 cd "$root" || exit 2
 
@@ -120,6 +128,25 @@ if [ -n "$bench_json" ]; then
       grep -q "\"$key\"" "$bench_json" || \
         fail "schema example key \`$key\` absent from $bench_json"
     done < "$tmpdir/schema_keys"
+  fi
+fi
+
+# 7. The INJECTION.md example plan must parse with the real parser.
+if [ -n "$plan_check" ]; then
+  if [ ! -x "$plan_check" ]; then
+    fail "--plan-check: $plan_check is not executable"
+  elif [ ! -e docs/INJECTION.md ]; then
+    fail "--plan-check given but docs/INJECTION.md is missing"
+  else
+    awk '/^```plan$/{grab=1; next} /^```$/{grab=0} grab' docs/INJECTION.md \
+      > "$tmpdir/plan"
+    if [ ! -s "$tmpdir/plan" ]; then
+      fail "no \`\`\`plan fence found in docs/INJECTION.md"
+    elif ! "$plan_check" --check-plan "$tmpdir/plan" \
+           > /dev/null 2> "$tmpdir/plan_err"; then
+      cat "$tmpdir/plan_err" >&2
+      fail "docs/INJECTION.md example plan rejected by the parser"
+    fi
   fi
 fi
 
