@@ -25,6 +25,7 @@
 #include "faults/search.hpp"
 #include "obs/bench_report.hpp"
 #include "obs/metrics.hpp"
+#include "protocols/common/eig.hpp"
 #include "protocols/common/vote.hpp"
 #include "protocols/crusader/crusader.hpp"
 #include "protocols/ic/interactive_consistency.hpp"
@@ -158,6 +159,42 @@ void BM_ThresholdVoterKofN(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ThresholdVoterKofN)->Arg(4)->Arg(16)->Arg(64);
+
+void fill_subtree(da::protocols::EigTree& tree, const da::Path& path,
+                  const std::vector<da::NodeId>& nodes, int depth,
+                  da::Rng& rng) {
+  tree.set(path, da::Value::of(rng.range(0, 3)));
+  if (static_cast<int>(path.size()) == depth) return;
+  for (da::NodeId j : nodes) {
+    if (!path.contains(j)) {
+      fill_subtree(tree, path.extended(j), nodes, depth, rng);
+    }
+  }
+}
+
+// Isolated resolve cost on a fully populated arena (every slot written,
+// the worst case): the bottom-up pass the EIG protocols run once per node
+// at the end of every execution.
+void BM_EigResolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  std::vector<da::NodeId> nodes(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) nodes[static_cast<std::size_t>(i)] = i;
+  da::protocols::EigTree tree(/*self=*/1, /*sender=*/0, nodes, depth);
+  da::Rng rng(11);
+  da::Path root;
+  root.push_back(0);
+  fill_subtree(tree, root, nodes, depth, rng);
+  const da::protocols::ByzResolver rule(depth - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.resolve(rule));
+  }
+  state.counters["slots"] = static_cast<double>(tree.layout().size());
+}
+BENCHMARK(BM_EigResolve)
+    ->Args({7, 3})
+    ->Args({10, 4})
+    ->Unit(benchmark::kMicrosecond);
 
 // The adversary-complete behaviour sweep at the Theorem 2 boundary
 // (n = 5, 1/2-degradable), on `state.range(0)` sweep workers. Registered

@@ -1,7 +1,6 @@
 #include "event/event_runner.hpp"
 
 #include <algorithm>
-#include <map>
 #include <queue>
 
 #include "obs/metrics.hpp"
@@ -73,14 +72,14 @@ EventRunResult EventRunner::run() {
   static const obs::Counter sent("event.messages_sent");
   static const obs::Counter delivered_count("event.messages_delivered");
   static const obs::Counter false_timeouts("event.false_timeouts");
+  static const obs::Counter fabrications_dropped(
+      "event.fabrications_dropped");
   static const obs::Histogram run_ms("event.run_ms");
   const obs::MetricsScope metrics_scope;
   const obs::ScopedTimer run_timer(run_ms);
   executions.add();
 
-  std::map<NodeId, std::size_t> index;
-  for (std::size_t i = 0; i < n; ++i) index.emplace(processes_[i]->id(), i);
-  DA_EXPECTS(index.size() == n);
+  const sim::NodeIndex index(processes_);  // asserts ids unique
 
   EventRunResult result;
   result.base.rounds = rounds;
@@ -129,6 +128,14 @@ EventRunResult EventRunner::run() {
       sent.add();
       for (const sim::Message& delivered :
            sim::filter_fanout(msg, options_, faulty, fabricated)) {
+        if (index.at(delivered.to) == sim::NodeIndex::npos) {
+          // Only fabricate() can aim at a non-participant: drop before an
+          // arrival event is ever scheduled (the arrival handler indexes
+          // the receiver's inbox buffers directly).
+          DA_EXPECTS(fabricated);
+          fabrications_dropped.add();
+          continue;
+        }
         double latency = latency_of(timing_, delivered);
         if (options_.network != nullptr) {
           // Injection holdback: deliver later within the receiver's round
@@ -170,9 +177,8 @@ EventRunResult EventRunner::run() {
         break;
       }
       case Kind::kArrival: {
-        const auto it = index.find(event.msg.to);
-        DA_EXPECTS(it != index.end());
-        const std::size_t to = it->second;
+        const std::size_t to = index.at(event.msg.to);
+        DA_EXPECTS(to != sim::NodeIndex::npos);
         const int r = event.msg.round;
         if (r < 0 || r >= rounds) break;
         if (closed[to][static_cast<std::size_t>(r)]) {

@@ -1,6 +1,7 @@
 #include "protocols/common/eig.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "protocols/common/vote.hpp"
 #include "util/contracts.hpp"
@@ -12,48 +13,107 @@ EigTree::EigTree(NodeId self, NodeId sender, std::vector<NodeId> nodes,
     : self_(self), sender_(sender), nodes_(std::move(nodes)), depth_(depth) {
   DA_EXPECTS(depth_ >= 1);
   DA_EXPECTS(static_cast<std::size_t>(depth_) <= Path::kMaxLen);
-  DA_EXPECTS(std::find(nodes_.begin(), nodes_.end(), sender_) != nodes_.end());
-  DA_EXPECTS(std::find(nodes_.begin(), nodes_.end(), self_) != nodes_.end());
   std::sort(nodes_.begin(), nodes_.end());
+  DA_EXPECTS(!nodes_.empty() && nodes_.front() >= 0);
+  DA_EXPECTS(std::adjacent_find(nodes_.begin(), nodes_.end()) ==
+             nodes_.end());
+
+  rank_of_.assign(static_cast<std::size_t>(nodes_.back()) + 1, -1);
+  for (std::size_t r = 0; r < nodes_.size(); ++r) {
+    rank_of_[static_cast<std::size_t>(nodes_[r])] =
+        static_cast<std::int16_t>(r);
+  }
+  DA_EXPECTS(is_participant(sender_));
+  DA_EXPECTS(is_participant(self_));
+  const int sender_rank = rank_of_[static_cast<std::size_t>(sender_)];
+  if (self_ != sender_) {
+    exclude_rank_ = rank_of_[static_cast<std::size_t>(self_)];
+  }
+
+  layout_ = EigLayout::get(static_cast<int>(nodes_.size()), sender_rank,
+                           depth_);
+  values_.assign(layout_->size(), Value::def());
+  present_.assign(layout_->size(), 0);
+}
+
+std::uint32_t EigTree::ordinal_of(const Path& path) const {
+  DA_EXPECTS(!path.empty() && path.front() == sender_);
+  DA_EXPECTS(static_cast<int>(path.size()) <= depth_);
+  const EigLayout& layout = *layout_;
+  std::uint64_t mask = 1ULL << layout.sender_rank();
+  std::uint32_t ord = 0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    DA_EXPECTS(is_participant(path[i]));
+    const int rank = rank_of_[static_cast<std::size_t>(path[i])];
+    const std::uint64_t bit = 1ULL << rank;
+    DA_EXPECTS((mask & bit) == 0);  // hops pairwise distinct
+    // Child index = rank's position among the ranks not yet on the path.
+    const int child =
+        rank - std::popcount(mask & (bit - 1));
+    ord = layout.child_begin(ord, static_cast<int>(i) - 1) +
+          static_cast<std::uint32_t>(child);
+    mask |= bit;
+  }
+  return ord;
 }
 
 void EigTree::set(const Path& path, Value v) {
-  DA_EXPECTS(!path.empty() && path.front() == sender_);
-  DA_EXPECTS(static_cast<int>(path.size()) <= depth_);
-  values_.emplace(path, v);  // first write wins
+  const std::uint32_t ord = ordinal_of(path);
+  DA_EXPECTS(present_[ord] == 0);  // first (and only) write per slot
+  values_[ord] = v;
+  present_[ord] = 1;
+  ++stored_;
 }
 
-Value EigTree::get(const Path& path) const {
-  const auto it = values_.find(path);
-  return it == values_.end() ? Value::def() : it->second;
-}
+Value EigTree::get(const Path& path) const { return values_[ordinal_of(path)]; }
 
-bool EigTree::has(const Path& path) const { return values_.contains(path); }
+bool EigTree::has(const Path& path) const {
+  return present_[ordinal_of(path)] != 0;
+}
 
 Value EigTree::resolve(const Resolver& rule) const {
-  Path root;
-  root.push_back(sender_);
-  return resolve_at(root, rule);
-}
+  const EigLayout& layout = *layout_;
+  if (depth_ == 1) return values_[0];
 
-Value EigTree::resolve_at(const Path& path, const Resolver& rule) const {
-  if (static_cast<int>(path.size()) == depth_) return get(path);
-
-  // Sub-instance size: the recursion drops one node per level.
-  const int n_sub = static_cast<int>(nodes_.size()) -
-                    static_cast<int>(path.size()) + 1;
-
+  const int n = static_cast<int>(nodes_.size());
+  // Resolved values of the level below the one being folded, indexed by
+  // in-level position. Leaves resolve to their stored (or V_d) values.
+  std::vector<Value> below(
+      values_.begin() + layout.level_offset(depth_ - 1),
+      values_.begin() + layout.level_offset(depth_));
+  std::vector<Value> folded;
   std::vector<Value> w;
-  w.reserve(static_cast<std::size_t>(n_sub) - 1);
-  // w_i: the value this receiver heard directly through `path`.
-  w.push_back(get(path));
-  // w_j: recursively resolved values of the other sub-receivers.
-  for (NodeId j : nodes_) {
-    if (j == self_ || path.contains(j)) continue;
-    w.push_back(resolve_at(path.extended(j), rule));
+  w.reserve(static_cast<std::size_t>(n));
+
+  for (int r = depth_ - 2; r >= 0; --r) {
+    const std::uint32_t lo = layout.level_offset(r);
+    const std::uint32_t hi = layout.level_offset(r + 1);
+    const int kids = layout.child_count(r);
+    folded.assign(hi - lo, Value::def());
+    for (std::uint32_t ord = lo; ord < hi; ++ord) {
+      // Paths through this receiver are never consumed by an ancestor
+      // (the recursion skips j == self), so skip the whole subtree.
+      if (exclude_rank_ >= 0 && layout.contains(ord, exclude_rank_)) {
+        continue;
+      }
+      // w_1: the value this receiver heard directly through the path;
+      // w_j: resolved values of the other sub-receivers, ascending rank.
+      w.clear();
+      w.push_back(values_[ord]);
+      const std::uint32_t child0 = layout.child_begin(ord, r);
+      for (int k = 0; k < kids; ++k) {
+        const std::uint32_t child = child0 + static_cast<std::uint32_t>(k);
+        if (layout.edge(child) == exclude_rank_) continue;
+        w.push_back(below[child - hi]);
+      }
+      // Sub-instance size: the recursion drops one node per level.
+      const int n_sub = n - r;
+      DA_ENSURES(static_cast<int>(w.size()) == n_sub - 1);
+      folded[ord - lo] = rule.resolve(n_sub, w);
+    }
+    below.swap(folded);
   }
-  DA_ENSURES(static_cast<int>(w.size()) == n_sub - 1);
-  return rule.resolve(n_sub, w);
+  return below[0];
 }
 
 ByzResolver::ByzResolver(int m) : m_(m) { DA_EXPECTS(m >= 0); }

@@ -1,10 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "protocols/common/eig_layout.hpp"
 #include "util/ids.hpp"
 #include "util/path.hpp"
 #include "util/value.hpp"
@@ -32,19 +33,31 @@ class Resolver {
 /// that was never filled (omitted message) reads as the default value V_d —
 /// assumption (b) of Section 4: the absence of a message can be detected.
 ///
+/// Storage is a flat arena: the shared `EigLayout` maps each admissible
+/// path to a dense ordinal (level-major, children contiguous per parent),
+/// values live in one contiguous vector preinitialized to V_d, and a
+/// presence bitmap backs `has()` and the first-write contract. `set`,
+/// `get` and `has` require structurally admissible paths — rooted at the
+/// sender, within depth, pairwise-distinct participant hops — which every
+/// receiver validates upstream anyway (`EigProcess::valid_message`);
+/// malformed paths are contract violations here, not silent V_d reads.
+///
 /// `resolve` then computes the receiver's decision exactly as step 3 of
 /// BYZ(t,m): at an internal path sigma, the receiver's value vector is its
 /// own directly-received value for sigma plus the recursively resolved
 /// values of the sub-senders j (j not in sigma, j != self), folded with the
-/// supplied rule.
+/// supplied rule. The fold is an iterative bottom-up pass over the arena
+/// (two level-sized scratch buffers, no recursion, no per-node Path
+/// copies or hashing).
 class EigTree {
  public:
   /// `nodes` lists every participant (sender included); `depth` is the
   /// number of rounds (maximum path length).
   EigTree(NodeId self, NodeId sender, std::vector<NodeId> nodes, int depth);
 
-  /// Stores a received value. First write wins (duplicate deliveries for
-  /// the same path are ignored; receivers validate structure upstream).
+  /// Stores a received value. Writing a slot twice is a contract
+  /// violation: receivers deduplicate deliveries upstream (`has()`), so a
+  /// second write can only be a protocol bug and must not be masked.
   void set(const Path& path, Value v);
 
   /// Value at `path`; V_d if never set.
@@ -56,17 +69,33 @@ class EigTree {
   [[nodiscard]] Value resolve(const Resolver& rule) const;
 
   [[nodiscard]] int depth() const { return depth_; }
-  [[nodiscard]] std::size_t stored() const { return values_.size(); }
+  [[nodiscard]] std::size_t stored() const { return stored_; }
   [[nodiscard]] const std::vector<NodeId>& nodes() const { return nodes_; }
 
+  /// True if `id` is a participant (O(1) rank-table lookup).
+  [[nodiscard]] bool is_participant(NodeId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < rank_of_.size() &&
+           rank_of_[static_cast<std::size_t>(id)] >= 0;
+  }
+
+  /// The shared per-(n, sender, depth) arena layout (diagnostics/tests).
+  [[nodiscard]] const EigLayout& layout() const { return *layout_; }
+
  private:
-  [[nodiscard]] Value resolve_at(const Path& path, const Resolver& rule) const;
+  [[nodiscard]] std::uint32_t ordinal_of(const Path& path) const;
 
   NodeId self_;
   NodeId sender_;
   std::vector<NodeId> nodes_;
   int depth_;
-  std::unordered_map<Path, Value> values_;
+  /// Rank this receiver prunes at resolve time, or -1 when self == sender
+  /// (the sender excludes nobody — it never relays through itself anyway).
+  int exclude_rank_ = -1;
+  std::vector<std::int16_t> rank_of_;  // NodeId -> rank in nodes_, -1 unknown
+  std::shared_ptr<const EigLayout> layout_;
+  std::vector<Value> values_;          // arena, V_d where never set
+  std::vector<std::uint8_t> present_;  // backs has() / first-write contract
+  std::size_t stored_ = 0;
 };
 
 /// BYZ(t,m)'s rule: VOTE(n_sub - 1 - m, n_sub - 1). The fixed `m` threads

@@ -42,9 +42,7 @@ bool EigProcess::valid_message(int round, const sim::Message& msg) const {
   if (msg.path.contains(params_.self)) return false;
   // Every relayer must be a participant.
   for (NodeId hop : msg.path) {
-    if (!std::binary_search(tree_.nodes().begin(), tree_.nodes().end(), hop)) {
-      return false;
-    }
+    if (!tree_.is_participant(hop)) return false;
   }
   return true;
 }

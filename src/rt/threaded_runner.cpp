@@ -4,7 +4,6 @@
 #include <exception>
 #include <mutex>
 #include <thread>
-#include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "rt/mailbox.hpp"
@@ -28,20 +27,19 @@ sim::RunResult ThreadedRunner::run() {
   static const obs::Counter sent("rt.messages_sent");
   static const obs::Counter delivered_count("rt.messages_delivered");
   static const obs::Counter wire_bytes("rt.wire_bytes");
+  static const obs::Counter fabrications_dropped("rt.fabrications_dropped");
   static const obs::Histogram run_ms("rt.run_ms");
   const obs::MetricsScope metrics_scope;
   const obs::ScopedTimer run_timer(run_ms);
   executions.add();
 
   const std::size_t n = processes_.size();
+  const sim::NodeIndex index(processes_);  // asserts ids unique
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   mailboxes.reserve(n);
-  std::unordered_map<NodeId, std::size_t> index;
   for (std::size_t i = 0; i < n; ++i) {
     mailboxes.push_back(std::make_unique<Mailbox>(rounds));
-    index.emplace(processes_[i]->id(), i);
   }
-  DA_EXPECTS(index.size() == n);  // ids unique
 
   std::barrier barrier(static_cast<std::ptrdiff_t>(n));
   std::mutex shared_mutex;  // serializes adversary/network/trace/counters
@@ -60,6 +58,14 @@ sim::RunResult ThreadedRunner::run() {
         const std::lock_guard<std::mutex> lock(shared_mutex);
         ++result.messages_sent;
         copies = sim::filter_fanout(msg, options_, faulty, fabricated);
+        // Fabricated messages may target non-participants: drop them
+        // before they are counted as delivered, traced, or deposited.
+        std::erase_if(copies, [&](const sim::Message& copy) {
+          if (index.at(copy.to) != sim::NodeIndex::npos) return false;
+          DA_EXPECTS(fabricated);
+          fabrications_dropped.add();
+          return true;
+        });
         result.messages_delivered += copies.size();
         if (options_.trace != nullptr) {
           for (const sim::Message& delivered : copies) {
@@ -71,9 +77,7 @@ sim::RunResult ThreadedRunner::run() {
       for (const sim::Message& delivered : copies) {
         delivered_count.add();
         wire_bytes.add(sim::wire_size_bytes(delivered));
-        const auto it = index.find(delivered.to);
-        DA_EXPECTS(it != index.end());
-        mailboxes[it->second]->deposit(round, delivered);
+        mailboxes[index.at(delivered.to)]->deposit(round, delivered);
       }
     }
   };

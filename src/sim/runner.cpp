@@ -12,24 +12,20 @@ bool is_faulty(const RunOptions& options, NodeId id) {
          options.faulty.end();
 }
 
-std::optional<Message> filter_message(const Message& msg,
-                                      const RunOptions& options,
-                                      bool from_is_faulty) {
-  std::optional<Message> out = msg;
-  if (from_is_faulty) {
-    DA_EXPECTS(options.adversary != nullptr);
-    out = options.adversary->corrupt(msg);
-    if (!out) return std::nullopt;
-    // The adversary may rewrite content but not impersonate other nodes or
-    // time-travel: receivers would reject those, so normalize here.
-    out->from = msg.from;
-    out->to = msg.to;
-    out->round = msg.round;
+NodeIndex::NodeIndex(
+    const std::vector<std::unique_ptr<Process>>& processes) {
+  NodeId max_id = -1;
+  for (const auto& p : processes) {
+    DA_EXPECTS(p->id() >= 0);
+    max_id = std::max(max_id, p->id());
   }
-  if (options.network != nullptr) {
-    return options.network->transit(*out);
+  index_.assign(static_cast<std::size_t>(max_id) + 1, npos);
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    std::size_t& slot = index_[static_cast<std::size_t>(processes[i]->id())];
+    DA_EXPECTS(slot == npos);  // ids unique
+    slot = i;
   }
-  return out;
+  count_ = processes.size();
 }
 
 std::vector<Message> filter_fanout(const Message& msg,
@@ -87,6 +83,7 @@ RunResult SyncRunner::run() {
   static const obs::Counter sent("sim.messages_sent");
   static const obs::Counter delivered_count("sim.messages_delivered");
   static const obs::Counter wire_bytes("sim.wire_bytes");
+  static const obs::Counter fabrications_dropped("sim.fabrications_dropped");
   static const obs::Histogram round_ms("sim.round_ms");
   const obs::MetricsScope metrics_scope;
   executions.add();
@@ -94,8 +91,13 @@ RunResult SyncRunner::run() {
   RunResult result;
   result.rounds = rounds;
 
-  // inflight[to] = messages to deliver in the current round.
-  std::map<NodeId, std::vector<Message>> inflight;
+  const NodeIndex index(processes_);
+  const std::size_t n = processes_.size();
+  // Indexed round buffers, reused across rounds with capacity preserved:
+  // inflight[i] collects messages for process i's next round; delivered[i]
+  // is the inbox being consumed this round. The two swap roles each round.
+  std::vector<std::vector<Message>> inflight(n);
+  std::vector<std::vector<Message>> delivered(n);
 
   const auto dispatch = [&](std::vector<Message>&& outbox, NodeId from,
                             int round, bool fabricated) {
@@ -107,13 +109,21 @@ RunResult SyncRunner::run() {
       sent.add();
       // Fabricated messages already carry adversarial content; they skip
       // corrupt() but still traverse the network model.
-      for (const Message& delivered :
+      for (const Message& copy :
            filter_fanout(msg, options_, faulty, fabricated)) {
+        const std::size_t to = index.at(copy.to);
+        if (to == NodeIndex::npos) {
+          // Only fabricate() can aim at a non-participant (corrupt() is
+          // normalized, honest processes address peers): drop and count.
+          DA_EXPECTS(fabricated);
+          fabrications_dropped.add();
+          continue;
+        }
         ++result.messages_delivered;
         delivered_count.add();
-        wire_bytes.add(wire_size_bytes(delivered));
-        if (options_.trace != nullptr) options_.trace->record(delivered);
-        inflight[delivered.to].push_back(delivered);
+        wire_bytes.add(wire_size_bytes(copy));
+        if (options_.trace != nullptr) options_.trace->record(copy);
+        inflight[to].push_back(copy);
       }
     }
   };
@@ -130,16 +140,17 @@ RunResult SyncRunner::run() {
   for (int r = 0; r < rounds; ++r) {
     rounds_run.add();
     const obs::ScopedTimer round_timer(round_ms);
-    std::map<NodeId, std::vector<Message>> delivered;
-    delivered.swap(inflight);
-    for (const auto& p : processes_) {
-      std::vector<Message>& inbox = delivered[p->id()];
+    delivered.swap(inflight);  // inflight buffers are all empty (cleared)
+    for (std::size_t i = 0; i < n; ++i) {
+      Process& p = *processes_[i];
+      std::vector<Message>& inbox = delivered[i];
       sort_inbox(inbox);
-      std::vector<Message> outbox = p->on_round(r, inbox);
+      std::vector<Message> outbox = p.on_round(r, inbox);
+      inbox.clear();  // keep capacity for the round after next
       if (r + 1 < rounds) {
-        dispatch(std::move(outbox), p->id(), r + 1, /*fabricated=*/false);
-        if (is_faulty(options_, p->id())) {
-          dispatch(options_.adversary->fabricate(p->id(), r + 1), p->id(),
+        dispatch(std::move(outbox), p.id(), r + 1, /*fabricated=*/false);
+        if (is_faulty(options_, p.id())) {
+          dispatch(options_.adversary->fabricate(p.id(), r + 1), p.id(),
                    r + 1, /*fabricated=*/true);
         }
       }

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sim/adversary.hpp"
@@ -50,14 +52,8 @@ class SyncRunner {
   RunOptions options_;
 };
 
-/// Shared by both runtimes: pass one outgoing message through the adversary
-/// (if `from` is faulty) and the network model. Returns the possibly
-/// rewritten message, or nullopt if it is suppressed/dropped.
-[[nodiscard]] std::optional<Message> filter_message(const Message& msg,
-                                                    const RunOptions& options,
-                                                    bool from_is_faulty);
-
-/// Fan-out variant used by all three runtimes' dispatch loops: adversary
+/// The single normalization path used by all three runtimes' dispatch
+/// loops: adversary
 /// (skipped for fabricated messages, which already carry adversarial
 /// content), then the network model's transit_fanout. A duplicating
 /// network (src/inject/) may return several copies; a dropping one, none.
@@ -68,6 +64,31 @@ class SyncRunner {
 
 /// True if `id` is in `options.faulty`.
 [[nodiscard]] bool is_faulty(const RunOptions& options, NodeId id);
+
+/// Dense NodeId -> process-index table shared by the three runtimes'
+/// indexed inbox buffers: `at(id)` is the process position, or npos for
+/// ids no process owns. Honest senders and the normalized adversary
+/// `corrupt` hook can only target participants, but `fabricate` may aim
+/// anywhere — runtimes must *drop* (and count) fabricated messages whose
+/// target is unknown instead of growing a map or writing out of bounds.
+class NodeIndex {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  explicit NodeIndex(const std::vector<std::unique_ptr<Process>>& processes);
+
+  [[nodiscard]] std::size_t at(NodeId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < index_.size()
+               ? index_[static_cast<std::size_t>(id)]
+               : npos;
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+ private:
+  std::vector<std::size_t> index_;  // NodeId -> position, npos when unknown
+  std::size_t count_ = 0;
+};
 
 /// Canonical inbox order used by both runtimes.
 void sort_inbox(std::vector<Message>& inbox);

@@ -14,11 +14,29 @@ TEST(EigTree, MissingSlotReadsAsDefault) {
   EXPECT_FALSE(tree.has(Path{0}));
 }
 
-TEST(EigTree, FirstWriteWins) {
+TEST(EigTree, DoubleSetIsContractViolation) {
+  // Receivers dedupe deliveries upstream (has() in EigProcess::on_round),
+  // so a second write to a slot can only be a protocol bug: it must fault
+  // loudly instead of silently keeping (or replacing) the first value.
   EigTree tree(1, 0, {0, 1, 2, 3}, 2);
   tree.set(Path{0}, Value::of(5));
-  tree.set(Path{0}, Value::of(9));
+  EXPECT_THROW(tree.set(Path{0}, Value::of(9)), std::logic_error);
+  EXPECT_THROW(tree.set(Path{0}, Value::of(5)), std::logic_error);  // same v
   EXPECT_EQ(tree.get(Path{0}), Value::of(5));
+  EXPECT_EQ(tree.stored(), 1u);
+}
+
+TEST(EigTree, SharedLayoutAcrossReceivers) {
+  // All receivers of one (n, sender, depth) instance share one arena
+  // layout object; a different shape gets a different layout.
+  const EigTree a(1, 0, {0, 1, 2, 3}, 2);
+  const EigTree b(2, 0, {0, 1, 2, 3}, 2);
+  EXPECT_EQ(&a.layout(), &b.layout());
+  const EigTree c(1, 0, {0, 1, 2, 3}, 3);
+  EXPECT_NE(&a.layout(), &c.layout());
+  // Arena size = 1 + (n-1) + (n-1)(n-2) + ... up to depth levels.
+  EXPECT_EQ(a.layout().size(), 1u + 3u);
+  EXPECT_EQ(c.layout().size(), 1u + 3u + 6u);
 }
 
 TEST(EigTree, RejectsForeignRoot) {
@@ -29,6 +47,15 @@ TEST(EigTree, RejectsForeignRoot) {
 TEST(EigTree, RejectsOverlongPath) {
   EigTree tree(1, 0, {0, 1, 2, 3}, 2);
   EXPECT_THROW(tree.set(Path{0, 2, 3}, Value::of(1)), std::logic_error);
+}
+
+TEST(EigTree, RejectsNonParticipantAndRepeatedHops) {
+  // Index-addressed storage upgrades malformed paths from silent V_d
+  // reads to contract violations (receivers validate upstream anyway).
+  EigTree tree(1, 0, {0, 1, 2, 3}, 3);
+  EXPECT_THROW(tree.set(Path{0, 9}, Value::of(1)), std::logic_error);
+  EXPECT_THROW(tree.set(Path{0, 2, 2}, Value::of(1)), std::logic_error);
+  EXPECT_THROW((void)tree.get(Path{0, 9}), std::logic_error);
 }
 
 TEST(EigTree, DepthOneResolveIsDirectRead) {

@@ -5,6 +5,7 @@
 #include "core/agreement.hpp"
 #include "core/byz.hpp"
 #include "faults/adversaries.hpp"
+#include "obs/metrics.hpp"
 
 namespace da::event {
 namespace {
@@ -156,6 +157,44 @@ TEST(EventRunner, DeterministicAcrossRuns) {
       EXPECT_DOUBLE_EQ(result.completion_time, first.completion_time);
     }
   }
+}
+
+TEST(EventRunner, FabricationToUnknownNodeIsDroppedAndCounted) {
+  // Regression: a fabrication aimed at node n+3 used to trip the arrival
+  // handler's index contract and abort the run; it must be dropped (and
+  // counted) before an arrival event is ever scheduled.
+  class ForeignTargetFabricator final : public sim::Adversary {
+   public:
+    explicit ForeignTargetFabricator(NodeId target) : target_(target) {}
+    std::optional<sim::Message> corrupt(
+        const sim::Message& original) override {
+      return original;
+    }
+    std::vector<sim::Message> fabricate(NodeId node, int round) override {
+      return {sim::Message{
+          .from = node, .to = target_, .round = round, .value = Value::of(99)}};
+    }
+
+   private:
+    NodeId target_;
+  };
+
+  const Config config{.n = 5, .m = 1, .u = 2};
+  const auto spec = make_spec(config, {2});
+  ForeignTargetFabricator adversary(/*target=*/config.n + 3);
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t before =
+      registry.counter_value("event.fabrications_dropped");
+  const EventRunResult out = run_byz_event(
+      config, spec, &adversary, TimingModel{}, perfect_clocks(config.n));
+  // corrupt() is the identity, so the run matches a fault-free one except
+  // for the fabricated sends (one per round) that are never delivered.
+  EXPECT_EQ(out.base.messages_sent, out.base.messages_delivered + 2);
+  EXPECT_EQ(out.false_timeouts, 0u);
+  for (NodeId i = 0; i < config.n; ++i) {
+    EXPECT_EQ(out.base.decisions.at(i), Value::of(42)) << "node " << i;
+  }
+  EXPECT_EQ(registry.counter_value("event.fabrications_dropped"), before + 2);
 }
 
 TEST(EventRunner, RejectsBadTiming) {

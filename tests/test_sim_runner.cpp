@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "faults/adversaries.hpp"
+#include "obs/metrics.hpp"
 #include "sim/network.hpp"
 
 namespace da::sim {
@@ -118,6 +119,51 @@ TEST(SyncRunner, AdversaryCannotImpersonate) {
     EXPECT_EQ(m.from, 0);
     EXPECT_EQ(m.round, 0);
   }
+}
+
+/// Behaves honestly except for fabricating, each round, one message aimed
+/// at a node that is not part of the instance.
+class ForeignTargetFabricator final : public Adversary {
+ public:
+  explicit ForeignTargetFabricator(NodeId target) : target_(target) {}
+  std::optional<Message> corrupt(const Message& original) override {
+    return original;
+  }
+  std::vector<Message> fabricate(NodeId node, int round) override {
+    return {Message{
+        .from = node, .to = target_, .round = round, .value = Value::of(99)}};
+  }
+
+ private:
+  NodeId target_;
+};
+
+TEST(SyncRunner, FabricationToUnknownNodeIsDroppedAndCounted) {
+  // Regression: fabricating at node n+3 used to grow the runner's
+  // node-keyed map with a phantom inbox; with indexed buffers the message
+  // must be dropped (and counted) instead of writing out of bounds.
+  const int n = 4;
+  RunOptions options;
+  options.faulty = {1};
+  ForeignTargetFabricator adversary(/*target=*/n + 3);
+  options.adversary = &adversary;
+  Trace trace;
+  options.trace = &trace;
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t before =
+      registry.counter_value("sim.fabrications_dropped");
+  SyncRunner runner(make_pingpong(n, Value::of(9)), options);
+  const RunResult result = runner.run();
+  // Honest traffic (3 broadcasts + 3 echoes) is unaffected; the two
+  // fabrications (rounds 0 and 1) count as sent but never as delivered,
+  // and never reach the trace.
+  EXPECT_EQ(result.messages_sent, 8u);
+  EXPECT_EQ(result.messages_delivered, 6u);
+  EXPECT_EQ(trace.total_messages(), 6u);
+  for (NodeId i = 0; i < n; ++i) {
+    EXPECT_EQ(result.decisions.at(i), Value::of(9));
+  }
+  EXPECT_EQ(registry.counter_value("sim.fabrications_dropped"), before + 2);
 }
 
 TEST(SyncRunner, TopologyNetworkBlocksNonNeighbors) {

@@ -6,6 +6,7 @@
 #include "core/byz.hpp"
 #include "faults/adversaries.hpp"
 #include "faults/search.hpp"
+#include "obs/metrics.hpp"
 #include "rt/mailbox.hpp"
 
 namespace da {
@@ -101,6 +102,46 @@ TEST(ThreadedRunner, RepeatedRunsAreDeterministic) {
       EXPECT_EQ(outcome.decisions, first) << "run " << run;
     }
   }
+}
+
+TEST(ThreadedRunner, FabricationToUnknownNodeIsDroppedAndCounted) {
+  // Regression: a fabrication aimed at node n+3 used to trip the mailbox
+  // index lookup's contract check and abort the run; it must instead be
+  // dropped (and counted) with honest traffic untouched.
+  class ForeignTargetFabricator final : public sim::Adversary {
+   public:
+    explicit ForeignTargetFabricator(NodeId target) : target_(target) {}
+    std::optional<sim::Message> corrupt(
+        const sim::Message& original) override {
+      return original;
+    }
+    std::vector<sim::Message> fabricate(NodeId node, int round) override {
+      return {sim::Message{
+          .from = node, .to = target_, .round = round, .value = Value::of(99)}};
+    }
+
+   private:
+    NodeId target_;
+  };
+
+  const Config config{.n = 5, .m = 1, .u = 2};
+  ForeignTargetFabricator adversary(/*target=*/config.n + 3);
+  sim::RunOptions options;
+  options.faulty = {2};
+  options.adversary = &adversary;
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t before =
+      registry.counter_value("rt.fabrications_dropped");
+  rt::ThreadedRunner runner(core::make_byz_processes(config, 0, Value::of(7)),
+                            std::move(options));
+  const sim::RunResult result = runner.run();
+  // corrupt() is the identity, so the run matches a fault-free one except
+  // for the fabricated sends (one per round) that are never delivered.
+  EXPECT_EQ(result.messages_sent, result.messages_delivered + 2);
+  for (NodeId i = 0; i < config.n; ++i) {
+    EXPECT_EQ(result.decisions.at(i), Value::of(7)) << "node " << i;
+  }
+  EXPECT_EQ(registry.counter_value("rt.fabrications_dropped"), before + 2);
 }
 
 TEST(ThreadedRunner, PropagatesProcessExceptions) {
