@@ -217,6 +217,59 @@ void BM_BehaviourSweep(benchmark::State& state) {
   state.counters["shards"] = static_cast<double>(stats.shards);
 }
 
+// Checkpoint-engine ablation: the adversary-complete behaviour walk with
+// the checkpoint/fork engine on vs off, single worker, on *clean*
+// configurations so both sides scan the full space (n = 4 and the
+// Theorem 2 boundary n = 5). range(0) = n, range(1) = checkpointing.
+// tests/test_fork_engine.cpp holds the two sides to identical verdicts
+// and execution counts; this measures what the forking buys.
+void BM_BehaviorSearch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool checkpointing = state.range(1) != 0;
+  const da::Config config{.n = n, .m = 1, .u = n - 3};
+  da::sweep::SweepOptions options;
+  options.jobs = 1;
+  da::sweep::SweepStats stats;
+  for (auto _ : state) {
+    const auto violation = da::faults::exhaustive_behavior_search(
+        config, -1, options, &stats, checkpointing);
+    benchmark::DoNotOptimize(violation);
+  }
+  state.counters["executions"] = static_cast<double>(stats.executions);
+  state.counters["checkpointing"] = checkpointing ? 1 : 0;
+}
+BENCHMARK(BM_BehaviorSearch)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Same ablation for the adversary-family search, whose checkpoint is the
+// honest round-0 prefix shared across the family (n = 7 feasible config,
+// no violation, so every scenario runs the whole family).
+void BM_SearchViolation(benchmark::State& state) {
+  const bool checkpointing = state.range(0) != 0;
+  const da::Config config{.n = 7, .m = 1, .u = 4};
+  da::faults::SearchOptions search;
+  search.seed = 7;
+  search.checkpointing = checkpointing;
+  da::sweep::SweepOptions options;
+  options.jobs = 1;
+  da::sweep::SweepStats stats;
+  for (auto _ : state) {
+    const auto violation =
+        da::faults::search_violation(config, search, options, &stats);
+    benchmark::DoNotOptimize(violation);
+  }
+  state.counters["executions"] = static_cast<double>(stats.executions);
+  state.counters["checkpointing"] = checkpointing ? 1 : 0;
+}
+BENCHMARK(BM_SearchViolation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 // The adversary-family search on a mid-size feasible config, same split.
 void BM_FamilySearchSweep(benchmark::State& state) {
   const int jobs = static_cast<int>(state.range(0));
@@ -304,6 +357,30 @@ int verify_analytic_counts() {
   return mismatches;
 }
 
+// Console reporter that additionally captures every finished run as a
+// "benchmarks" table row, so the `--json` report carries the timings and
+// tools/bench_diff.py can compare two reports row-by-row.
+class RecordingReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(da::Table* table) : table_(table) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      table_->row(run.benchmark_name(),
+                  run.real_accumulated_time * 1e3 /
+                      static_cast<double>(run.iterations),
+                  run.cpu_accumulated_time * 1e3 /
+                      static_cast<double>(run.iterations),
+                  run.iterations);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  da::Table* table_;
+};
+
 }  // namespace
 
 // Hand-rolled main instead of BENCHMARK_MAIN(): `--jobs N` must be
@@ -330,8 +407,12 @@ int main(int argc, char** argv) {
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
       return reporter.finish(1);
     }
-    benchmark::RunSpecifiedBenchmarks();
+    da::Table bench_table({"benchmark", "real_ms", "cpu_ms", "iterations"});
+    bench_table.set_name("benchmarks");
+    RecordingReporter recording(&bench_table);
+    benchmark::RunSpecifiedBenchmarks(&recording);
     benchmark::Shutdown();
+    reporter.add_table(bench_table);
   }
   const int mismatches = verify_analytic_counts();
   return reporter.finish(mismatches == 0 ? 0 : 1);

@@ -30,11 +30,7 @@ Outcome to_outcome(sim::RunResult&& result) {
 
 }  // namespace
 
-Value Outcome::decision_of(NodeId id) const {
-  const auto it = decisions.find(id);
-  DA_EXPECTS(it != decisions.end());
-  return it->second;
-}
+Value Outcome::decision_of(NodeId id) const { return decisions.at(id); }
 
 DegradableAgreement::DegradableAgreement(Config config) : config_(config) {
   DA_EXPECTS(config_.valid());

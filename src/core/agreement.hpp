@@ -1,11 +1,10 @@
 #pragma once
 
-#include <map>
-
 #include "core/byz.hpp"
 #include "core/checker.hpp"
 #include "core/scenario.hpp"
 #include "sim/adversary.hpp"
+#include "sim/decisions.hpp"
 #include "sim/network.hpp"
 #include "sim/runner.hpp"
 #include "sim/trace.hpp"
@@ -14,7 +13,7 @@ namespace da {
 
 /// Result of one agreement execution.
 struct Outcome {
-  std::map<NodeId, Value> decisions;
+  sim::Decisions decisions;
   std::size_t messages_sent = 0;
   std::size_t messages_delivered = 0;
   int rounds = 0;

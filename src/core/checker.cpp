@@ -1,6 +1,8 @@
 #include "core/checker.hpp"
 
 #include <algorithm>
+#include <span>
+#include <utility>
 
 #include "util/contracts.hpp"
 
@@ -25,10 +27,13 @@ Value decision_of(const std::map<NodeId, Value>& decisions, NodeId id) {
   return it->second;
 }
 
-}  // namespace
+Value decision_of(const sim::Decisions& decisions, NodeId id) {
+  return decisions.at(id);
+}
 
-ConditionReport check_conditions(const ScenarioSpec& spec,
-                                 const std::map<NodeId, Value>& decisions) {
+template <typename DecisionContainer>
+ConditionReport check_conditions_impl(const ScenarioSpec& spec,
+                                      const DecisionContainer& decisions) {
   spec.validate();
   ConditionReport report;
 
@@ -47,11 +52,32 @@ ConditionReport check_conditions(const ScenarioSpec& spec,
     report.applied = Condition::kNone;
   }
 
-  // Partition fault-free receivers by decision.
-  std::map<Value, std::vector<NodeId>> classes;
+  // Partition fault-free receivers by decision. Flat scratch instead of a
+  // value-keyed map — this runs once per execution inside the exhaustive
+  // searches — reused thread-locally so the steady state allocates
+  // nothing; sorted by Value afterwards to keep exactly the iteration
+  // order the map gave (reports list classes, and violators within an
+  // unsatisfied report, in ascending Value order).
+  static thread_local std::vector<std::pair<Value, std::vector<NodeId>>>
+      class_scratch;
+  std::size_t class_count = 0;
   for (NodeId r : receivers) {
-    classes[decision_of(decisions, r)].push_back(r);
+    const Value v = decision_of(decisions, r);
+    std::size_t i = 0;
+    while (i < class_count && class_scratch[i].first != v) ++i;
+    if (i == class_count) {
+      if (class_count == class_scratch.size()) class_scratch.emplace_back();
+      class_scratch[i].first = v;
+      class_scratch[i].second.clear();  // keeps capacity
+      ++class_count;
+    }
+    class_scratch[i].second.push_back(r);
   }
+  std::sort(class_scratch.begin(),
+            class_scratch.begin() + static_cast<std::ptrdiff_t>(class_count),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const std::span<const std::pair<Value, std::vector<NodeId>>> classes(
+      class_scratch.data(), class_count);
 
   switch (report.applied) {
     case Condition::kD1: {
@@ -139,18 +165,34 @@ ConditionReport check_conditions(const ScenarioSpec& spec,
 
   // Section 2 corollary: largest group of fault-free nodes (sender included,
   // agreeing on its own value when fault-free) deciding one identical value.
-  std::map<Value, int> sizes;
+  bool sender_value_seen = false;
   for (const auto& [value, members] : classes) {
-    sizes[value] = static_cast<int>(members.size());
-  }
-  if (sender_ok) sizes[spec.sender_value] += 1;
-  for (const auto& [value, count] : sizes) {
+    int count = static_cast<int>(members.size());
+    if (sender_ok && value == spec.sender_value) {
+      ++count;
+      sender_value_seen = true;
+    }
     report.largest_agreeing_class =
         std::max(report.largest_agreeing_class, count);
+  }
+  if (sender_ok && !sender_value_seen) {
+    report.largest_agreeing_class = std::max(report.largest_agreeing_class, 1);
   }
   report.corollary_m_plus_1 = report.largest_agreeing_class >= m + 1;
 
   return report;
+}
+
+}  // namespace
+
+ConditionReport check_conditions(const ScenarioSpec& spec,
+                                 const sim::Decisions& decisions) {
+  return check_conditions_impl(spec, decisions);
+}
+
+ConditionReport check_conditions(const ScenarioSpec& spec,
+                                 const std::map<NodeId, Value>& decisions) {
+  return check_conditions_impl(spec, decisions);
 }
 
 }  // namespace da

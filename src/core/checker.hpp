@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "sim/decisions.hpp"
 #include "util/value.hpp"
 
 namespace da {
@@ -44,7 +45,11 @@ struct ConditionReport {
 };
 
 /// Checks decisions (one per node; faulty nodes' entries are ignored)
-/// against conditions D.1-D.4 for `spec`.
+/// against conditions D.1-D.4 for `spec`. The `sim::Decisions` overload is
+/// the allocation-free form used by the search hot loops; the map overload
+/// serves callers that assemble decisions by hand.
+[[nodiscard]] ConditionReport check_conditions(const ScenarioSpec& spec,
+                                               const sim::Decisions& decisions);
 [[nodiscard]] ConditionReport check_conditions(
     const ScenarioSpec& spec, const std::map<NodeId, Value>& decisions);
 

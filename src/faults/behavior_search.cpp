@@ -1,16 +1,39 @@
 #include "faults/behavior_search.hpp"
 
 #include <algorithm>
-#include <map>
+#include <array>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "core/byz.hpp"
+#include "obs/metrics.hpp"
+#include "sim/round_engine.hpp"
 #include "sweep/shard.hpp"
 #include "util/contracts.hpp"
 
 namespace da::faults {
 
 namespace {
+
+// Checkpoint-engine accounting (counter names are interned process-wide,
+// so these are the same metrics search.cpp writes).
+const obs::Counter& checkpoints_counter() {
+  static const obs::Counter c("search.checkpoints");
+  return c;
+}
+const obs::Counter& forks_counter() {
+  static const obs::Counter c("search.forks");
+  return c;
+}
+const obs::Counter& rounds_replayed_counter() {
+  static const obs::Counter c("search.rounds_replayed");
+  return c;
+}
+const obs::Counter& rounds_skipped_counter() {
+  static const obs::Counter c("search.rounds_skipped");
+  return c;
+}
 
 /// Every message a faulty node emits in a depth-2 instance, keyed by
 /// (from, to). Round-0 slots exist only for a faulty sender; round-1
@@ -34,42 +57,64 @@ std::vector<std::pair<NodeId, NodeId>> controlled_slots(
   return slots;
 }
 
-/// Plays one fully specified behaviour table.
+/// Plays one behaviour table over a dense n*n (from, to) grid. Mutable
+/// (`set`) so the checkpoint walk re-points individual slots between forks
+/// without rebuilding the adversary or allocating.
 class TableAdversary final : public sim::Adversary {
  public:
-  TableAdversary(const std::vector<std::pair<NodeId, NodeId>>& slots,
-                 const std::vector<Value>& assignment) {
-    DA_EXPECTS(slots.size() == assignment.size());
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-      table_.emplace(slots[i], assignment[i]);
-    }
+  TableAdversary(int n, const std::vector<std::pair<NodeId, NodeId>>& slots)
+      : n_(static_cast<std::size_t>(n)),
+        values_(n_ * n_, Value::def()),
+        controlled_(n_ * n_, 0) {
+    for (const auto& [from, to] : slots) controlled_[cell(from, to)] = 1;
+  }
+
+  void set(std::pair<NodeId, NodeId> slot, Value value) {
+    DA_EXPECTS(controlled_[cell(slot.first, slot.second)] != 0);
+    values_[cell(slot.first, slot.second)] = value;
   }
 
   std::optional<sim::Message> corrupt(const sim::Message& msg) override {
-    const auto it = table_.find({msg.from, msg.to});
-    if (it == table_.end()) return msg;  // e.g. relay addressed to sender
+    const std::size_t c = cell(msg.from, msg.to);
+    if (controlled_[c] == 0) return msg;  // e.g. relay addressed to sender
     sim::Message out = msg;
-    out.value = it->second;
+    out.value = values_[c];
     return out;
   }
 
  private:
-  std::map<std::pair<NodeId, NodeId>, Value> table_;
+  [[nodiscard]] std::size_t cell(NodeId from, NodeId to) const {
+    return static_cast<std::size_t>(from) * n_ + static_cast<std::size_t>(to);
+  }
+
+  std::size_t n_;
+  std::vector<Value> values_;
+  std::vector<char> controlled_;
 };
 
 constexpr std::uint64_t kSymbols = 4;
 
-std::vector<Value> decode(std::uint64_t counter, std::size_t slots,
-                          Value sender_value) {
-  const Value alphabet[kSymbols] = {sender_value, Value::of(100001),
-                                    Value::of(100002), Value::def()};
-  std::vector<Value> assignment;
-  assignment.reserve(slots);
-  for (std::size_t i = 0; i < slots; ++i) {
-    assignment.push_back(alphabet[counter % kSymbols]);
-    counter /= kSymbols;
+/// The canonical four-symbol alphabet (see the header comment).
+std::array<Value, kSymbols> alphabet_for(Value sender_value) {
+  return {sender_value, Value::of(100001), Value::of(100002), Value::def()};
+}
+
+/// Applies the base-4 digits of `counter` at slot positions [first, last).
+/// Digits are *big-endian*: slot 0 is the most-significant digit, so a
+/// contiguous ordinal block that shares its leading digits (exactly what
+/// `ShardPlan::append_pow4` produces) shares its leading — i.e. round-0 —
+/// slot assignments, which is what lets the checkpoint walk fork at the
+/// round boundary. `fn(slot_index, value)` is a template parameter so the
+/// per-execution inner loop inlines instead of dispatching through a
+/// `std::function`.
+template <typename SlotFn>
+void apply_digits(std::uint64_t counter, std::size_t slots, std::size_t first,
+                  std::size_t last, const std::array<Value, kSymbols>& alphabet,
+                  SlotFn&& fn) {
+  for (std::size_t i = first; i < last; ++i) {
+    const std::uint64_t sym = (counter >> (2 * (slots - 1 - i))) & 3;
+    fn(i, alphabet[sym]);
   }
-  return assignment;
 }
 
 std::uint64_t pow_symbols(std::size_t slots) {
@@ -87,6 +132,9 @@ struct Segment {
   ScenarioSpec spec;
   std::vector<std::pair<NodeId, NodeId>> slots;
   std::uint64_t base = 0;
+  /// Leading slots that are the faulty sender's round-0 broadcast (0 when
+  /// the sender is honest). Everything after is a round-1 relay slot.
+  std::size_t round0_slots = 0;
 };
 
 std::vector<Segment> build_segments(const Config& config, int limit) {
@@ -101,6 +149,15 @@ std::vector<Segment> build_segments(const Config& config, int limit) {
       seg.spec.faulty = faulty;
       seg.slots = controlled_slots(seg.spec);
       DA_EXPECTS(seg.slots.size() <= 12);  // 4^12 = 16M: keep runs bounded
+      seg.round0_slots = seg.spec.sender_faulty()
+                             ? static_cast<std::size_t>(config.n - 1)
+                             : 0;
+      // The sender is node 0 and subsets are sorted, so its round-0 slots
+      // are exactly the leading run — the digit split relies on that.
+      for (std::size_t i = 0; i < seg.slots.size(); ++i) {
+        DA_EXPECTS((seg.slots[i].first == seg.spec.sender) ==
+                   (i < seg.round0_slots));
+      }
       seg.base = base;
       base += pow_symbols(seg.slots.size());
       segments.push_back(std::move(seg));
@@ -109,15 +166,31 @@ std::vector<Segment> build_segments(const Config& config, int limit) {
   return segments;
 }
 
+/// Shard-local replay state for the checkpoint walk. Each shard is scanned
+/// by exactly one pool worker, so no locking; the engine, adversary and
+/// snapshots persist across the shard's ordinals and are reused in place.
+struct ShardState {
+  const Segment* segment = nullptr;
+  std::unique_ptr<TableAdversary> adversary;
+  std::unique_ptr<sim::RoundEngine> engine;
+  sim::RoundEngine::Snapshot start;   // pre-dispatch(0): behaviour-independent
+  sim::RoundEngine::Snapshot round1;  // pre-dispatch(1): fixed round-0 digits
+  std::uint64_t round0_digits = 0;    // digit prefix `round1` was built for
+  bool has_round1 = false;
+  sim::RunResult result;
+};
+
 }  // namespace
 
 std::optional<Violation> exhaustive_behavior_search(
     const Config& config, int max_f, const sweep::SweepOptions& options,
-    sweep::SweepStats* stats) {
+    sweep::SweepStats* stats, bool checkpointing) {
   DA_EXPECTS(config.valid());
   DA_EXPECTS(config.m <= 1);  // depth-2 instances only
   const int limit = max_f < 0 ? config.u : max_f;
   const DegradableAgreement protocol(config);
+  static const obs::Counter byz_executions("protocol.byz.executions");
+  static const obs::Counter byz_messages("protocol.byz.messages_sent");
 
   const std::vector<Segment> segments = build_segments(config, limit);
   sweep::ShardPlan plan;
@@ -128,6 +201,7 @@ std::optional<Violation> exhaustive_behavior_search(
   // Each shard lies inside one segment (append_pow4 never crosses a
   // segment boundary); candidate violations are stashed per shard.
   std::vector<std::optional<Violation>> candidates(plan.shard_count());
+  std::vector<ShardState> shard_states(checkpointing ? plan.shard_count() : 0);
   const auto visitor = [&](std::uint64_t ordinal, std::size_t shard,
                            Rng&) -> sweep::Visit {
     const auto seg_it = std::prev(std::upper_bound(
@@ -135,14 +209,85 @@ std::optional<Violation> exhaustive_behavior_search(
         [](std::uint64_t o, const Segment& s) { return o < s.base; }));
     const Segment& seg = *seg_it;
     const std::uint64_t counter = ordinal - seg.base;
-    TableAdversary adversary(
-        seg.slots, decode(counter, seg.slots.size(), seg.spec.sender_value));
-    const ConditionReport report =
-        protocol.run_and_check(seg.spec, &adversary);
-    if (report.satisfied) return {};
-    candidates[shard] = Violation{
-        seg.spec, "behavior#" + std::to_string(counter), report};
-    return {.hit = true};
+    const std::size_t slots = seg.slots.size();
+    const auto alphabet = alphabet_for(seg.spec.sender_value);
+
+    const auto report_at = [&](const ConditionReport& report) -> sweep::Visit {
+      if (report.satisfied) return {};
+      candidates[shard] = Violation{
+          seg.spec, "behavior#" + std::to_string(counter), report};
+      return {.hit = true};
+    };
+
+    if (!checkpointing) {
+      // Scratch path: one full execution, adversary rebuilt per ordinal.
+      TableAdversary adversary(seg.spec.config.n, seg.slots);
+      apply_digits(counter, slots, 0, slots, alphabet,
+                   [&](std::size_t i, Value v) {
+                     adversary.set(seg.slots[i], v);
+                   });
+      return report_at(protocol.run_and_check(seg.spec, &adversary));
+    }
+
+    // Checkpoint walk: ordinals inside a shard share their leading base-4
+    // digits, i.e. their round-0 assignment, so the post-round-0 state is
+    // computed once per leading-digit block and forked for every round-1
+    // assignment underneath it (docs/SEARCH.md, "Checkpoint engine").
+    ShardState& st = shard_states[shard];
+    if (st.segment != &seg) {
+      st.segment = &seg;
+      st.adversary =
+          std::make_unique<TableAdversary>(seg.spec.config.n, seg.slots);
+      sim::RunOptions run_options;
+      run_options.faulty = seg.spec.faulty;
+      run_options.adversary = st.adversary.get();
+      st.engine = std::make_unique<sim::RoundEngine>(
+          core::make_byz_processes(config, seg.spec.sender,
+                                   seg.spec.sender_value),
+          run_options);
+      st.engine->begin();
+      st.start = st.engine->snapshot();
+      st.has_round1 = false;
+      checkpoints_counter().add();
+    }
+    sim::RoundEngine& engine = *st.engine;
+    const std::size_t r0 = seg.round0_slots;
+    const std::uint64_t round0_digits =
+        r0 == 0 ? 0 : counter >> (2 * (slots - r0));
+    if (!st.has_round1 || st.round0_digits != round0_digits) {
+      // (Re)build the post-round-0 checkpoint for this leading-digit
+      // block: round-0 slots only exist for a faulty sender, and a faulty
+      // sender emits nothing in round 1, so the two digit ranges address
+      // disjoint dispatches.
+      engine.restore(st.start);
+      apply_digits(counter, slots, 0, r0, alphabet,
+                   [&](std::size_t i, Value v) {
+                     st.adversary->set(seg.slots[i], v);
+                   });
+      engine.dispatch_pending();
+      engine.process_round();
+      st.round1 = engine.snapshot();
+      st.round0_digits = round0_digits;
+      st.has_round1 = true;
+      checkpoints_counter().add();
+      rounds_replayed_counter().add(1);
+    } else {
+      engine.restore(st.round1);
+      forks_counter().add();
+      rounds_skipped_counter().add(1);
+    }
+    apply_digits(counter, slots, r0, slots, alphabet,
+                 [&](std::size_t i, Value v) {
+                   st.adversary->set(seg.slots[i], v);
+                 });
+    engine.dispatch_pending();
+    engine.process_round();
+    rounds_replayed_counter().add(1);
+    DA_EXPECTS(engine.done());
+    byz_executions.add();
+    engine.finish_into(st.result);
+    byz_messages.add(st.result.messages_sent);
+    return report_at(check_conditions(seg.spec, st.result.decisions));
   };
 
   const sweep::SweepResult result = sweep::run_sweep(plan, options, visitor);

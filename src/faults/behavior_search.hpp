@@ -38,13 +38,20 @@ namespace da::faults {
 
 /// Parallel form: the same sweep, sharded deterministically over the
 /// high-order base-4 digits of each subset's behaviour index and run on a
-/// work-stealing pool (see src/sweep/). For every `options.jobs` value it
+/// work-stealing pool (see src/sweep/). Behaviour digits are big-endian
+/// (slot 0 = most-significant digit), so ordinals sharing leading digits
+/// share their round-0 assignment. With `checkpointing` (the default) the
+/// walk exploits exactly that: each shard forks every execution from a
+/// checkpointed post-round-0 state instead of replaying round 0, which is
+/// observationally identical (tests/test_fork_engine.cpp) but ~halves the
+/// simulated rounds and skips per-execution process construction. For
+/// every `options.jobs` value — and for either `checkpointing` value — it
 /// returns the same first-violation-or-nullopt verdict and the same
 /// canonical execution count (`stats->executions`); `stats` (optional)
 /// additionally receives per-shard counters for scaling reports.
 [[nodiscard]] std::optional<Violation> exhaustive_behavior_search(
     const Config& config, int max_f, const sweep::SweepOptions& options,
-    sweep::SweepStats* stats = nullptr);
+    sweep::SweepStats* stats = nullptr, bool checkpointing = true);
 
 /// Number of protocol executions the search performs (for reporting).
 [[nodiscard]] std::uint64_t behavior_search_space(const Config& config,

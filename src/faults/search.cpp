@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "core/byz.hpp"
 #include "faults/adversaries.hpp"
+#include "obs/metrics.hpp"
+#include "sim/round_engine.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
@@ -62,29 +65,6 @@ std::vector<NamedAdversaryFactory> standard_family(std::uint64_t seed) {
   return family;
 }
 
-void for_each_subset(
-    int n, int k,
-    const std::function<void(const std::vector<NodeId>&)>& fn) {
-  DA_EXPECTS(0 <= k && k <= n);
-  std::vector<NodeId> subset(static_cast<std::size_t>(k));
-  for (int i = 0; i < k; ++i) subset[static_cast<std::size_t>(i)] = i;
-  for (;;) {
-    fn(subset);
-    // Next combination in lexicographic order.
-    int i = k - 1;
-    while (i >= 0 &&
-           subset[static_cast<std::size_t>(i)] == n - k + i) {
-      --i;
-    }
-    if (i < 0) return;
-    ++subset[static_cast<std::size_t>(i)];
-    for (int j = i + 1; j < k; ++j) {
-      subset[static_cast<std::size_t>(j)] =
-          subset[static_cast<std::size_t>(j - 1)] + 1;
-    }
-  }
-}
-
 namespace {
 
 std::uint64_t binomial(int n, int k) {
@@ -131,6 +111,25 @@ struct ScenarioEntry {
 /// family), so shards are small to give the work-stealing pool enough
 /// pieces to balance. Constant, never derived from the job count.
 constexpr std::uint64_t kScenariosPerShard = 16;
+
+// Checkpoint-engine accounting (shared by name with behavior_search.cpp:
+// the registry interns counters, so both files write the same metrics).
+const obs::Counter& checkpoints_counter() {
+  static const obs::Counter c("search.checkpoints");
+  return c;
+}
+const obs::Counter& forks_counter() {
+  static const obs::Counter c("search.forks");
+  return c;
+}
+const obs::Counter& rounds_replayed_counter() {
+  static const obs::Counter c("search.rounds_replayed");
+  return c;
+}
+const obs::Counter& rounds_skipped_counter() {
+  static const obs::Counter c("search.rounds_skipped");
+  return c;
+}
 
 }  // namespace
 
@@ -187,15 +186,75 @@ std::optional<Violation> search_violation(
     }
     sweep::Visit visit;
     visit.executions = 0;
-    for (const auto& factory : family) {
-      if (spec.f() == 0 && factory.name != "silent") {
-        // With no faulty nodes every adversary is a no-op; run once.
-        continue;
+    if (!options.checkpointing || spec.f() == 0) {
+      // Scratch path: one full execution per adversary. With no faulty
+      // nodes every adversary is a no-op, so only "silent" runs.
+      for (const auto& factory : family) {
+        if (spec.f() == 0 && factory.name != "silent") continue;
+        auto adversary = factory.make(spec);
+        ++visit.executions;
+        const ConditionReport report =
+            protocol.run_and_check(spec, adversary.get());
+        if (!report.satisfied) {
+          candidates[shard] = Violation{spec, factory.name, report};
+          visit.hit = true;
+          break;
+        }
       }
+      return visit;
+    }
+
+    // Checkpointed path: the adversary only acts at dispatch time, and no
+    // family adversary fabricates, so every execution of this (sender,
+    // subset) scenario shares an adversary-independent prefix — process
+    // construction plus, when the sender is honest, all of round 0 (the
+    // only round-0 traffic is the honest sender's broadcast). Snapshot
+    // that prefix once and fork the rest per family member, which is
+    // byte-equivalent to the scratch path (docs/SEARCH.md, "Checkpoint
+    // engine"; tests/test_fork_engine.cpp holds it to that).
+    static const obs::Counter byz_executions("protocol.byz.executions");
+    static const obs::Counter byz_messages("protocol.byz.messages_sent");
+    spec.validate();
+    sim::HonestAdversary honest;
+    sim::RunOptions run_options;
+    run_options.faulty = spec.faulty;
+    run_options.adversary = &honest;
+    sim::RoundEngine engine(
+        core::make_byz_processes(config, spec.sender, spec.sender_value),
+        run_options);
+    engine.begin();
+    int prefix_rounds = 0;
+    if (!spec.sender_faulty()) {
+      engine.dispatch_pending();
+      engine.process_round();
+      prefix_rounds = 1;
+    }
+    const sim::RoundEngine::Snapshot prefix = engine.snapshot();
+    checkpoints_counter().add();
+    rounds_replayed_counter().add(static_cast<std::uint64_t>(prefix_rounds));
+    const int suffix_rounds = engine.total_rounds() - prefix_rounds;
+    sim::RunResult result;
+    bool first = true;
+    for (const auto& factory : family) {
       auto adversary = factory.make(spec);
+      engine.set_adversary(adversary.get());
+      if (!first) {
+        engine.restore(prefix);
+        forks_counter().add();
+        rounds_skipped_counter().add(
+            static_cast<std::uint64_t>(prefix_rounds));
+      }
+      first = false;
+      while (!engine.done()) {
+        engine.dispatch_pending();
+        engine.process_round();
+      }
+      rounds_replayed_counter().add(static_cast<std::uint64_t>(suffix_rounds));
       ++visit.executions;
-      const ConditionReport report =
-          protocol.run_and_check(spec, adversary.get());
+      byz_executions.add();
+      engine.finish_into(result);
+      byz_messages.add(result.messages_sent);
+      const ConditionReport report = check_conditions(spec, result.decisions);
       if (!report.satisfied) {
         candidates[shard] = Violation{spec, factory.name, report};
         visit.hit = true;

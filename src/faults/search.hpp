@@ -10,6 +10,8 @@
 #include "core/scenario.hpp"
 #include "sim/adversary.hpp"
 #include "sweep/sweep.hpp"
+#include "util/contracts.hpp"
+#include "util/ids.hpp"
 
 namespace da::faults {
 
@@ -46,6 +48,11 @@ struct SearchOptions {
   /// Extra random (subset, adversary) probes per fault count, on top of
   /// the exhaustive subset sweep.
   int random_trials = 0;
+  /// Share one checkpointed execution prefix per (sender, subset) across
+  /// the whole adversary family instead of executing each adversary from
+  /// scratch (see docs/SEARCH.md, "Checkpoint engine"). The verdict and
+  /// the canonical execution count are identical either way.
+  bool checkpointing = true;
 };
 
 /// Runs BYZ(m,m) under every (sender, faulty subset, adversary) combination
@@ -73,8 +80,30 @@ struct SearchOptions {
 [[nodiscard]] std::uint64_t search_space_size(const Config& config,
                                               const SearchOptions& options);
 
-/// Enumerates all k-subsets of {0..n-1}; invokes fn with each (sorted).
-void for_each_subset(int n, int k,
-                     const std::function<void(const std::vector<NodeId>&)>& fn);
+/// Enumerates all k-subsets of {0..n-1} in lexicographic order; invokes
+/// `fn(const std::vector<NodeId>&)` with each (sorted ascending). A
+/// header-only template so the enumeration hot loops inline the callback
+/// instead of paying a `std::function` dispatch per subset.
+template <typename SubsetFn>
+void for_each_subset(int n, int k, SubsetFn&& fn) {
+  DA_EXPECTS(0 <= k && k <= n);
+  std::vector<NodeId> subset(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) subset[static_cast<std::size_t>(i)] = i;
+  const std::vector<NodeId>& view = subset;
+  for (;;) {
+    fn(view);
+    // Next combination in lexicographic order.
+    int i = k - 1;
+    while (i >= 0 && subset[static_cast<std::size_t>(i)] == n - k + i) {
+      --i;
+    }
+    if (i < 0) return;
+    ++subset[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      subset[static_cast<std::size_t>(j)] =
+          subset[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+}
 
 }  // namespace da::faults

@@ -91,6 +91,19 @@ Value SmProcess::decide() const {
   return Value::def();
 }
 
+std::unique_ptr<sim::Process> SmProcess::clone() const {
+  auto copy = std::make_unique<SmProcess>(params_);
+  copy->accepted_ = accepted_;
+  return copy;
+}
+
+void SmProcess::assign_from(const sim::Process& other) {
+  const auto& o = dynamic_cast<const SmProcess&>(other);
+  DA_EXPECTS(params_.self == o.params_.self &&
+             params_.sender == o.params_.sender && params_.m == o.params_.m);
+  accepted_ = o.accepted_;
+}
+
 std::vector<std::unique_ptr<sim::Process>> make_sm_processes(
     int n, int m, NodeId sender, Value value,
     const SignatureAuthority& authority) {

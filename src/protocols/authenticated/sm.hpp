@@ -43,6 +43,10 @@ class SmProcess final : public sim::Process {
       int round, const std::vector<sim::Message>& inbox) override;
   [[nodiscard]] Value decide() const override;
 
+  /// Checkpoint/fork support: execution state is just the accepted set.
+  [[nodiscard]] std::unique_ptr<sim::Process> clone() const override;
+  void assign_from(const sim::Process& other) override;
+
   [[nodiscard]] const std::set<Value>& accepted() const { return accepted_; }
 
  private:

@@ -65,6 +65,15 @@ void EigTree::set(const Path& path, Value v) {
   ++stored_;
 }
 
+bool EigTree::set_if_absent(const Path& path, Value v) {
+  const std::uint32_t ord = ordinal_of(path);
+  if (present_[ord] != 0) return false;
+  values_[ord] = v;
+  present_[ord] = 1;
+  ++stored_;
+  return true;
+}
+
 Value EigTree::get(const Path& path) const { return values_[ordinal_of(path)]; }
 
 bool EigTree::has(const Path& path) const {
@@ -78,11 +87,14 @@ Value EigTree::resolve(const Resolver& rule) const {
   const int n = static_cast<int>(nodes_.size());
   // Resolved values of the level below the one being folded, indexed by
   // in-level position. Leaves resolve to their stored (or V_d) values.
-  std::vector<Value> below(
-      values_.begin() + layout.level_offset(depth_ - 1),
-      values_.begin() + layout.level_offset(depth_));
-  std::vector<Value> folded;
-  std::vector<Value> w;
+  // Scratch buffers are thread-local so the per-execution resolve (once
+  // per process, the checkpointed searches' second-hottest call) is
+  // allocation-free at steady state; resolve never re-enters itself.
+  static thread_local std::vector<Value> below;
+  static thread_local std::vector<Value> folded;
+  static thread_local std::vector<Value> w;
+  below.assign(values_.begin() + layout.level_offset(depth_ - 1),
+               values_.begin() + layout.level_offset(depth_));
   w.reserve(static_cast<std::size_t>(n));
 
   for (int r = depth_ - 2; r >= 0; --r) {

@@ -60,6 +60,12 @@ class EigTree {
   /// second write can only be a protocol bug and must not be masked.
   void set(const Path& path, Value v);
 
+  /// `has()` + `set()` fused into one arena probe: stores `v` and returns
+  /// true if the slot was empty, returns false (leaving the first-written
+  /// value) if it was already filled. The receive hot path uses this so
+  /// duplicate detection and the write share a single ordinal walk.
+  bool set_if_absent(const Path& path, Value v);
+
   /// Value at `path`; V_d if never set.
   [[nodiscard]] Value get(const Path& path) const;
 

@@ -49,18 +49,26 @@ bool EigProcess::valid_message(int round, const sim::Message& msg) const {
 
 std::vector<sim::Message> EigProcess::on_round(
     int round, const std::vector<sim::Message>& inbox) {
+  // The final round (and the sender in every round) stores without
+  // relaying, so the fresh-path bookkeeping below is skipped entirely —
+  // the heaviest round of every execution allocates nothing here.
+  if (round + 1 >= params_.depth || params_.self == params_.sender) {
+    for (const sim::Message& msg : inbox) {
+      if (!valid_message(round, msg)) continue;
+      // Duplicate deliveries lose to the first write (set_if_absent).
+      tree_.set_if_absent(msg.path, msg.value);
+    }
+    return {};
+  }
+
   std::vector<Path> fresh;
   for (const sim::Message& msg : inbox) {
     if (!valid_message(round, msg)) continue;
-    if (tree_.has(msg.path)) continue;  // duplicate: first delivery wins
-    tree_.set(msg.path, msg.value);
+    if (!tree_.set_if_absent(msg.path, msg.value)) continue;  // duplicate
     fresh.push_back(msg.path);
   }
 
   std::vector<sim::Message> out;
-  if (round + 1 >= params_.depth || params_.self == params_.sender) {
-    return out;
-  }
   // Relay each value received this round with our id appended. Omitted
   // incoming messages are not re-materialized: the downstream receiver
   // observes our silence for that path as V_d, exactly as we did.
@@ -81,6 +89,20 @@ std::vector<sim::Message> EigProcess::on_round(
 Value EigProcess::decide() const {
   if (params_.self == params_.sender) return params_.input;
   return tree_.resolve(*params_.resolver);
+}
+
+std::unique_ptr<sim::Process> EigProcess::clone() const {
+  auto copy = std::make_unique<EigProcess>(params_);
+  copy->tree_ = tree_;
+  return copy;
+}
+
+void EigProcess::assign_from(const sim::Process& other) {
+  const auto& o = dynamic_cast<const EigProcess&>(other);
+  DA_EXPECTS(params_.self == o.params_.self &&
+             params_.sender == o.params_.sender &&
+             params_.depth == o.params_.depth);
+  tree_ = o.tree_;  // same shape: vector copy-assigns reuse capacity
 }
 
 std::vector<std::unique_ptr<sim::Process>> make_eig_processes(

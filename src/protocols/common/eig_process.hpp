@@ -39,6 +39,11 @@ class EigProcess final : public sim::Process {
       int round, const std::vector<sim::Message>& inbox) override;
   [[nodiscard]] Value decide() const override;
 
+  /// Checkpoint/fork support: the flat EigTree arena makes both plain
+  /// vector copies (assign_from reuses the target's storage).
+  [[nodiscard]] std::unique_ptr<sim::Process> clone() const override;
+  void assign_from(const sim::Process& other) override;
+
   /// The receiver's gathered tree (for diagnostics and tests).
   [[nodiscard]] const EigTree& tree() const { return tree_; }
 

@@ -1,10 +1,20 @@
 #include "protocols/common/vote.hpp"
 
+#include <array>
 #include <unordered_map>
 
 #include "util/contracts.hpp"
 
 namespace da::protocols {
+
+namespace {
+
+/// Protocol-sized inputs (every EIG resolve folds at most n-1 values) are
+/// counted with a flat distinct-value scan: no hashing, no allocation.
+/// Larger spans take the hash map.
+constexpr std::size_t kFlatVoteLimit = 24;
+
+}  // namespace
 
 Value vote(std::span<const Value> values, std::size_t alpha) {
   DA_EXPECTS(alpha >= 1);
@@ -15,12 +25,36 @@ Value vote(std::span<const Value> values, std::size_t alpha) {
   // count and flip a D.1 scenario to V_d. Never enable in real builds.
   if (alpha > 1) --alpha;
 #endif
+  bool found = false;
+  Value winner = Value::def();
+  if (values.size() <= kFlatVoteLimit) {
+    std::array<Value, kFlatVoteLimit> distinct;
+    std::array<std::size_t, kFlatVoteLimit> count;
+    std::size_t k = 0;
+    for (const Value& v : values) {
+      std::size_t i = 0;
+      while (i < k && distinct[i] != v) ++i;
+      if (i == k) {
+        distinct[k] = v;
+        count[k] = 1;
+        ++k;
+      } else {
+        ++count[i];
+      }
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      if (count[i] >= alpha) {
+        if (found) return Value::def();  // tie: two values reach threshold
+        found = true;
+        winner = distinct[i];
+      }
+    }
+    return found ? winner : Value::def();
+  }
+
   std::unordered_map<Value, std::size_t> counts;
   counts.reserve(values.size());
   for (const Value& v : values) ++counts[v];
-
-  bool found = false;
-  Value winner = Value::def();
   for (const auto& [v, c] : counts) {
     if (c >= alpha) {
       if (found) return Value::def();  // tie: two values reach the threshold

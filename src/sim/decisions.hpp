@@ -1,0 +1,94 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/ids.hpp"
+#include "util/value.hpp"
+
+namespace da::sim {
+
+/// One decision per node, stored as a flat vector sorted by NodeId.
+///
+/// This is the per-execution result payload of the runners, allocated once
+/// per protocol execution in the exhaustive-search hot loops — a sorted
+/// vector instead of a node-keyed `std::map` keeps that allocation to one
+/// contiguous block and makes lookups a branch-predictable binary search.
+/// The map-facing surface (`at`, `find`, `operator[]`, iteration over
+/// `std::pair<NodeId, Value>`, conversion to `std::map`) is kept so the
+/// checker/table call sites read exactly as before.
+class Decisions {
+ public:
+  using value_type = std::pair<NodeId, Value>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  Decisions() = default;
+
+  /// Value for `id`; inserts V_d if absent (map-style upsert).
+  Value& operator[](NodeId id) {
+    const auto it = lower_bound(id);
+    if (it != entries_.end() && it->first == id) return it->second;
+    return entries_.insert(it, {id, Value::def()})->second;
+  }
+
+  /// Value for `id`; contract violation if absent.
+  [[nodiscard]] const Value& at(NodeId id) const {
+    const Value* v = find(id);
+    DA_EXPECTS(v != nullptr);
+    return *v;
+  }
+
+  /// Pointer to the value for `id`, or nullptr if absent.
+  [[nodiscard]] const Value* find(NodeId id) const {
+    const auto it = lower_bound(id);
+    return it != entries_.end() && it->first == id ? &it->second : nullptr;
+  }
+
+  [[nodiscard]] bool contains(NodeId id) const { return find(id) != nullptr; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }  // keeps capacity: forks reuse storage
+
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+
+  friend bool operator==(const Decisions&, const Decisions&) = default;
+
+  friend bool operator==(const Decisions& a,
+                         const std::map<NodeId, Value>& b) {
+    if (a.size() != b.size()) return false;
+    auto it = b.begin();
+    for (const auto& [node, value] : a.entries_) {
+      if (node != it->first || value != it->second) return false;
+      ++it;
+    }
+    return true;
+  }
+
+  /// Compatibility accessor for map-based call sites (crusader/OM checkers,
+  /// differential artifacts). Implicit so existing code compiles unchanged;
+  /// costs one allocation per node — keep it off the search hot paths.
+  operator std::map<NodeId, Value>() const {  // NOLINT(google-explicit-*)
+    return {entries_.begin(), entries_.end()};
+  }
+
+ private:
+  [[nodiscard]] std::vector<value_type>::iterator lower_bound(NodeId id) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), id,
+        [](const value_type& e, NodeId key) { return e.first < key; });
+  }
+  [[nodiscard]] const_iterator lower_bound(NodeId id) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), id,
+        [](const value_type& e, NodeId key) { return e.first < key; });
+  }
+
+  std::vector<value_type> entries_;
+};
+
+}  // namespace da::sim

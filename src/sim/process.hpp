@@ -1,8 +1,10 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "sim/message.hpp"
+#include "util/contracts.hpp"
 #include "util/ids.hpp"
 #include "util/value.hpp"
 
@@ -41,6 +43,24 @@ class Process {
 
   /// The node's decision after the final round.
   [[nodiscard]] virtual Value decide() const = 0;
+
+  /// Deep copy of the process mid-execution, for the checkpoint/fork
+  /// round engine (sim/round_engine.hpp). Protocol process types
+  /// (EIG-family, SM) override this; the default is a contract violation
+  /// so ad-hoc processes that never meet a checkpoint need not bother.
+  [[nodiscard]] virtual std::unique_ptr<Process> clone() const {
+    DA_EXPECTS(false && "Process::clone not implemented for this type");
+    return nullptr;
+  }
+
+  /// Copies `other`'s execution state into this process, reusing existing
+  /// storage (the allocation-free form of clone() used when forking into
+  /// a live engine). `other` must be the same concrete type over the same
+  /// instance topology (same id, sender, participants, depth).
+  virtual void assign_from(const Process& other) {
+    (void)other;
+    DA_EXPECTS(false && "Process::assign_from not implemented for this type");
+  }
 
  protected:
   Process() = default;

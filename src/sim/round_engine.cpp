@@ -1,0 +1,233 @@
+#include "sim/round_engine.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/contracts.hpp"
+
+namespace da::sim {
+
+namespace {
+
+const obs::Counter& executions_counter() {
+  static const obs::Counter c("sim.executions");
+  return c;
+}
+const obs::Counter& rounds_counter() {
+  static const obs::Counter c("sim.rounds");
+  return c;
+}
+const obs::Counter& sent_counter() {
+  static const obs::Counter c("sim.messages_sent");
+  return c;
+}
+const obs::Counter& delivered_counter() {
+  static const obs::Counter c("sim.messages_delivered");
+  return c;
+}
+const obs::Counter& wire_bytes_counter() {
+  static const obs::Counter c("sim.wire_bytes");
+  return c;
+}
+const obs::Counter& fabrications_dropped_counter() {
+  static const obs::Counter c("sim.fabrications_dropped");
+  return c;
+}
+const obs::Histogram& round_ms_histogram() {
+  static const obs::Histogram h("sim.round_ms");
+  return h;
+}
+
+}  // namespace
+
+RoundEngine::RoundEngine(std::vector<std::unique_ptr<Process>> processes,
+                         RunOptions options)
+    : processes_(std::move(processes)),
+      options_(std::move(options)),
+      index_(processes_) {
+  DA_EXPECTS(!processes_.empty());
+  DA_EXPECTS(options_.faulty.empty() || options_.adversary != nullptr);
+  for (NodeId f : options_.faulty) {
+    DA_EXPECTS(index_.at(f) != NodeIndex::npos);
+  }
+  rounds_ = processes_[0]->total_rounds();
+  for (const auto& p : processes_) DA_EXPECTS(p->total_rounds() == rounds_);
+  const std::size_t n = processes_.size();
+  pending_.resize(n);
+  inflight_.resize(n);
+  delivered_.resize(n);
+}
+
+void RoundEngine::begin() {
+  DA_EXPECTS(!begun_);
+  executions_counter().add();
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    pending_[i] = processes_[i]->start();
+  }
+  pending_round_ = 0;
+  begun_ = true;
+  dispatched_ = false;
+}
+
+void RoundEngine::dispatch(std::vector<Message>& outbox, NodeId from,
+                           int round, bool fabricated) {
+  const bool faulty = is_faulty(options_, from);
+  // Metric deltas are batched per dispatch call — identical totals, one
+  // thread-local add per metric instead of three per message.
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t wire_bytes = 0;
+  const auto deliver = [&](const Message& copy) {
+    const std::size_t to = index_.at(copy.to);
+    if (to == NodeIndex::npos) {
+      // Only fabricate() can aim at a non-participant (corrupt() is
+      // normalized, honest processes address peers): drop and count.
+      DA_EXPECTS(fabricated);
+      fabrications_dropped_counter().add();
+      return;
+    }
+    ++messages_delivered_;
+    ++delivered;
+    wire_bytes += wire_size_bytes(copy);
+    if (options_.trace != nullptr) options_.trace->record(copy);
+    inflight_[to].push_back(copy);
+  };
+
+  for (Message& msg : outbox) {
+    DA_EXPECTS(msg.from == from);
+    msg.round = round;
+    ++messages_sent_;
+    ++sent;
+    if (options_.network == nullptr) {
+      // Reliable-link fast path: no per-message fan-out vector. Semantics
+      // identical to filter_fanout (corrupt + from/to/round normalization).
+      if (fabricated || !faulty) {
+        deliver(msg);
+        continue;
+      }
+      DA_EXPECTS(options_.adversary != nullptr);
+      std::optional<Message> out = options_.adversary->corrupt(msg);
+      if (!out) continue;
+      out->from = msg.from;
+      out->to = msg.to;
+      out->round = msg.round;
+      deliver(*out);
+    } else {
+      // Fabricated messages already carry adversarial content; they skip
+      // corrupt() but still traverse the network model.
+      for (const Message& copy :
+           filter_fanout(msg, options_, faulty, fabricated)) {
+        deliver(copy);
+      }
+    }
+  }
+  if (sent != 0) sent_counter().add(sent);
+  if (delivered != 0) delivered_counter().add(delivered);
+  if (wire_bytes != 0) wire_bytes_counter().add(wire_bytes);
+}
+
+void RoundEngine::dispatch_pending() {
+  DA_EXPECTS(begun_ && !dispatched_ && !done());
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    dispatch(pending_[i], processes_[i]->id(), pending_round_,
+             /*fabricated=*/false);
+    pending_[i].clear();  // keep capacity for the next collect
+    if (is_faulty(options_, processes_[i]->id())) {
+      std::vector<Message> fabricated =
+          options_.adversary->fabricate(processes_[i]->id(), pending_round_);
+      dispatch(fabricated, processes_[i]->id(), pending_round_,
+               /*fabricated=*/true);
+    }
+  }
+  dispatched_ = true;
+}
+
+void RoundEngine::process_round() {
+  DA_EXPECTS(begun_ && dispatched_ && !done());
+  rounds_counter().add();
+  const obs::ScopedTimer round_timer(round_ms_histogram());
+  const int r = rounds_processed_;
+  delivered_.swap(inflight_);  // inflight buffers are all empty (cleared)
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    Process& p = *processes_[i];
+    std::vector<Message>& inbox = delivered_[i];
+    sort_inbox(inbox);
+    std::vector<Message> outbox = p.on_round(r, inbox);
+    inbox.clear();  // keep capacity for the round after next
+    if (r + 1 < rounds_) {
+      pending_[i] = std::move(outbox);
+    }
+    // Messages returned from the final round are discarded, uncounted —
+    // same as SyncRunner.
+  }
+  rounds_processed_ = r + 1;
+  pending_round_ = r + 1;
+  dispatched_ = false;
+}
+
+RunResult RoundEngine::finish() const {
+  RunResult result;
+  finish_into(result);
+  return result;
+}
+
+void RoundEngine::finish_into(RunResult& out) const {
+  DA_EXPECTS(done());
+  out.decisions.clear();
+  for (const auto& p : processes_) out.decisions[p->id()] = p->decide();
+  out.messages_sent = messages_sent_;
+  out.messages_delivered = messages_delivered_;
+  out.rounds = rounds_;
+}
+
+RunResult RoundEngine::run() {
+  const obs::MetricsScope metrics_scope;
+  if (!begun_) begin();
+  while (!done()) {
+    dispatch_pending();
+    process_round();
+  }
+  return finish();
+}
+
+RoundEngine::Snapshot RoundEngine::snapshot() const {
+  DA_EXPECTS(begun_ && !dispatched_);
+  Snapshot snap;
+  snap.processes.reserve(processes_.size());
+  for (const auto& p : processes_) snap.processes.push_back(p->clone());
+  snap.pending = pending_;
+  snap.pending_round = pending_round_;
+  snap.rounds_processed = rounds_processed_;
+  snap.begun = begun_;
+  snap.messages_sent = messages_sent_;
+  snap.messages_delivered = messages_delivered_;
+  if (options_.trace != nullptr) {
+    snap.trace = *options_.trace;
+    snap.trace_attached = true;
+  }
+  return snap;
+}
+
+void RoundEngine::restore(const Snapshot& snap) {
+  DA_EXPECTS(snap.processes.size() == processes_.size());
+  DA_EXPECTS((options_.trace != nullptr) == snap.trace_attached);
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    processes_[i]->assign_from(*snap.processes[i]);
+  }
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    pending_[i] = snap.pending[i];  // copy-assign: reuses capacity
+    inflight_[i].clear();
+    delivered_[i].clear();
+  }
+  pending_round_ = snap.pending_round;
+  rounds_processed_ = snap.rounds_processed;
+  begun_ = snap.begun;
+  dispatched_ = false;
+  messages_sent_ = snap.messages_sent;
+  messages_delivered_ = snap.messages_delivered;
+  if (snap.trace_attached) *options_.trace = snap.trace;
+}
+
+}  // namespace da::sim

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace da::sim {
+
+/// Resumable synchronous-round executor: `SyncRunner`'s loop, unrolled
+/// into explicit phases so a search can checkpoint an execution at a round
+/// boundary and fork cheap copies that continue under different adversary
+/// decisions.
+///
+/// A round has two phases, and the engine alternates them:
+///
+///   1. *collect* — `begin()` gathers every process's round-0 sends;
+///      `process_round()` delivers the pending inboxes for the current
+///      round (canonical `sort_inbox` order), runs `on_round`, and gathers
+///      the resulting next-round outboxes. Collected outboxes are *held*,
+///      not yet sent.
+///   2. *dispatch* — `dispatch_pending()` pushes the held outboxes through
+///      the adversary (`corrupt`/`fabricate`) and the network model into
+///      the receivers' inboxes.
+///
+/// The split matters because all adversary influence happens at dispatch:
+/// a snapshot taken between collect and dispatch (the *pre-dispatch
+/// boundary*) captures an execution prefix that is independent of any
+/// adversary decision not yet applied. `snapshot()` copies the full state
+/// at such a boundary — `Process::clone()` of every node (plain vector
+/// copies for the flat EIG arena), the held outboxes, the result counters,
+/// and the trace prefix when a trace is attached — and `restore()` rewinds
+/// an engine to it, reusing the engine's existing buffers so steady-state
+/// forking allocates nothing. `set_adversary()` swaps the adversary
+/// between forks; the prefix stays valid as long as the swapped-in
+/// adversary would have made the same (absent) round-0..k decisions, which
+/// docs/SEARCH.md's checkpoint-engine section spells out.
+///
+/// `run()` drives the phases to completion and is exactly `SyncRunner`'s
+/// loop — `SyncRunner::run()` now delegates here, so the two cannot drift.
+class RoundEngine {
+ public:
+  RoundEngine(std::vector<std::unique_ptr<Process>> processes,
+              RunOptions options);
+
+  /// Collects round-0 sends. Must be the first phase call; counts one
+  /// `sim.executions`.
+  void begin();
+
+  /// Dispatches the held outboxes (adversary, network, routing) into the
+  /// receivers' next-round inboxes.
+  void dispatch_pending();
+
+  /// Delivers the current round's inboxes, runs `on_round`, holds the
+  /// next-round outboxes. After the final round there is nothing left to
+  /// dispatch and `done()` is true.
+  void process_round();
+
+  /// True once every round has been processed.
+  [[nodiscard]] bool done() const { return rounds_processed_ == rounds_; }
+
+  /// Decisions + logical message counters of the execution so far.
+  [[nodiscard]] RunResult finish() const;
+
+  /// Reuse-friendly `finish()`: overwrites `out`, keeping its capacity.
+  void finish_into(RunResult& out) const;
+
+  /// Drives begin (unless already begun) / dispatch / process to
+  /// completion and returns the result. One-shot equivalent of SyncRunner.
+  RunResult run();
+
+  [[nodiscard]] int total_rounds() const { return rounds_; }
+  /// Rounds fully processed so far (= the next round to process).
+  [[nodiscard]] int rounds_processed() const { return rounds_processed_; }
+
+  /// Swap the adversary applied to future dispatches (forks install their
+  /// own table); faulty-set, network and process topology stay fixed.
+  void set_adversary(Adversary* adversary) { options_.adversary = adversary; }
+
+  /// Full engine state at a pre-dispatch boundary. Opaque to callers;
+  /// create with `snapshot()`, consume with `restore()`.
+  struct Snapshot {
+    std::vector<std::unique_ptr<Process>> processes;
+    std::vector<std::vector<Message>> pending;
+    int pending_round = 0;
+    int rounds_processed = 0;
+    bool begun = false;
+    std::size_t messages_sent = 0;
+    std::size_t messages_delivered = 0;
+    Trace trace;  // prefix transcript; meaningful iff trace_attached
+    bool trace_attached = false;
+  };
+
+  /// Captures the state. Legal only at a pre-dispatch boundary (after
+  /// `begin()` or `process_round()`, before `dispatch_pending()`), where
+  /// the in-flight buffers are empty by construction.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Rewinds this engine to `snap` (which must come from an engine over
+  /// the same process set). Buffers are assigned over, not reallocated, so
+  /// repeated restore/replay cycles are allocation-free at steady state.
+  void restore(const Snapshot& snap);
+
+ private:
+  void dispatch(std::vector<Message>& outbox, NodeId from, int round,
+                bool fabricated);
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  RunOptions options_;
+  NodeIndex index_;
+  int rounds_ = 0;
+
+  // Held outboxes (one per process) for round `pending_round_`, collected
+  // but not yet dispatched. `begun_` flips on begin(); `dispatched_`
+  // tracks which phase is next.
+  std::vector<std::vector<Message>> pending_;
+  int pending_round_ = 0;
+  bool begun_ = false;
+  bool dispatched_ = false;
+
+  // In-flight inboxes for round `rounds_processed_` (filled by dispatch,
+  // consumed by process_round) and the spare buffer set they swap with.
+  std::vector<std::vector<Message>> inflight_;
+  std::vector<std::vector<Message>> delivered_;
+  int rounds_processed_ = 0;
+
+  std::size_t messages_sent_ = 0;
+  std::size_t messages_delivered_ = 0;
+};
+
+}  // namespace da::sim

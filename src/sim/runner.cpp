@@ -1,8 +1,9 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
+#include <utility>
 
-#include "obs/metrics.hpp"
+#include "sim/round_engine.hpp"
 #include "util/contracts.hpp"
 
 namespace da::sim {
@@ -75,90 +76,7 @@ SyncRunner::SyncRunner(std::vector<std::unique_ptr<Process>> processes,
 }
 
 RunResult SyncRunner::run() {
-  const int rounds = processes_[0]->total_rounds();
-  for (const auto& p : processes_) DA_EXPECTS(p->total_rounds() == rounds);
-
-  static const obs::Counter executions("sim.executions");
-  static const obs::Counter rounds_run("sim.rounds");
-  static const obs::Counter sent("sim.messages_sent");
-  static const obs::Counter delivered_count("sim.messages_delivered");
-  static const obs::Counter wire_bytes("sim.wire_bytes");
-  static const obs::Counter fabrications_dropped("sim.fabrications_dropped");
-  static const obs::Histogram round_ms("sim.round_ms");
-  const obs::MetricsScope metrics_scope;
-  executions.add();
-
-  RunResult result;
-  result.rounds = rounds;
-
-  const NodeIndex index(processes_);
-  const std::size_t n = processes_.size();
-  // Indexed round buffers, reused across rounds with capacity preserved:
-  // inflight[i] collects messages for process i's next round; delivered[i]
-  // is the inbox being consumed this round. The two swap roles each round.
-  std::vector<std::vector<Message>> inflight(n);
-  std::vector<std::vector<Message>> delivered(n);
-
-  const auto dispatch = [&](std::vector<Message>&& outbox, NodeId from,
-                            int round, bool fabricated) {
-    const bool faulty = is_faulty(options_, from);
-    for (Message& msg : outbox) {
-      DA_EXPECTS(msg.from == from);
-      msg.round = round;
-      ++result.messages_sent;
-      sent.add();
-      // Fabricated messages already carry adversarial content; they skip
-      // corrupt() but still traverse the network model.
-      for (const Message& copy :
-           filter_fanout(msg, options_, faulty, fabricated)) {
-        const std::size_t to = index.at(copy.to);
-        if (to == NodeIndex::npos) {
-          // Only fabricate() can aim at a non-participant (corrupt() is
-          // normalized, honest processes address peers): drop and count.
-          DA_EXPECTS(fabricated);
-          fabrications_dropped.add();
-          continue;
-        }
-        ++result.messages_delivered;
-        delivered_count.add();
-        wire_bytes.add(wire_size_bytes(copy));
-        if (options_.trace != nullptr) options_.trace->record(copy);
-        inflight[to].push_back(copy);
-      }
-    }
-  };
-
-  // Round-0 sends.
-  for (const auto& p : processes_) {
-    dispatch(p->start(), p->id(), 0, /*fabricated=*/false);
-    if (is_faulty(options_, p->id())) {
-      dispatch(options_.adversary->fabricate(p->id(), 0), p->id(), 0,
-               /*fabricated=*/true);
-    }
-  }
-
-  for (int r = 0; r < rounds; ++r) {
-    rounds_run.add();
-    const obs::ScopedTimer round_timer(round_ms);
-    delivered.swap(inflight);  // inflight buffers are all empty (cleared)
-    for (std::size_t i = 0; i < n; ++i) {
-      Process& p = *processes_[i];
-      std::vector<Message>& inbox = delivered[i];
-      sort_inbox(inbox);
-      std::vector<Message> outbox = p.on_round(r, inbox);
-      inbox.clear();  // keep capacity for the round after next
-      if (r + 1 < rounds) {
-        dispatch(std::move(outbox), p.id(), r + 1, /*fabricated=*/false);
-        if (is_faulty(options_, p.id())) {
-          dispatch(options_.adversary->fabricate(p.id(), r + 1), p.id(),
-                   r + 1, /*fabricated=*/true);
-        }
-      }
-    }
-  }
-
-  for (const auto& p : processes_) result.decisions[p->id()] = p->decide();
-  return result;
+  return RoundEngine(std::move(processes_), std::move(options_)).run();
 }
 
 }  // namespace da::sim

@@ -1,12 +1,12 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "sim/adversary.hpp"
+#include "sim/decisions.hpp"
 #include "sim/network.hpp"
 #include "sim/process.hpp"
 #include "sim/trace.hpp"
@@ -29,8 +29,9 @@ struct RunOptions {
 /// Outcome of one protocol execution.
 struct RunResult {
   /// Every node's decision (including the sender's, which for fault-free
-  /// senders is its own value by construction of the protocols).
-  std::map<NodeId, Value> decisions;
+  /// senders is its own value by construction of the protocols). A flat
+  /// sorted vector under a map-like surface — see sim/decisions.hpp.
+  Decisions decisions;
   std::size_t messages_sent = 0;
   std::size_t messages_delivered = 0;
   int rounds = 0;
@@ -39,7 +40,9 @@ struct RunResult {
 /// Deterministic, single-threaded synchronous-round executor. Rounds are
 /// global: all messages produced in round r are delivered together at the
 /// start of processing for round r, in a canonical order (sender id, then
-/// relay path), so executions are exactly reproducible.
+/// relay path), so executions are exactly reproducible. The loop itself
+/// lives in `RoundEngine` (sim/round_engine.hpp), which additionally
+/// supports checkpoint/fork replay; `run()` is the one-shot form.
 class SyncRunner {
  public:
   SyncRunner(std::vector<std::unique_ptr<Process>> processes,

@@ -33,6 +33,11 @@ SweepResult run_sweep(const ShardPlan& plan, const SweepOptions& options,
     ThreadPool pool(jobs);
     for (std::size_t s = 0; s < plan.shard_count(); ++s) {
       pool.submit([&, s] {
+        // Flush this worker's thread-local metric deltas when the shard
+        // finishes: visitors that drive a RoundEngine phase-by-phase (the
+        // checkpointed searches) stage counters outside any MetricsScope
+        // of their own, and pool threads die without flushing.
+        const obs::MetricsScope metrics_scope;
         const ShardRange range = plan.shard(s);
         ShardStats& stats = result.stats.per_shard[s];
         stats.begin = range.begin;

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two bench ``--json`` reports and flag wall-time regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
+                        [--metric COLUMN]
+
+Both files follow the schema written by ``da::obs::BenchReporter`` (see
+docs/OBSERVABILITY.md). The comparison walks the rows of the captured
+``benchmarks`` table (one row per google-benchmark run, keyed by the
+benchmark's full name, e.g. ``BM_BehaviorSearch/5/1``) and reports every
+row whose ``real_ms`` grew by more than ``--threshold`` percent (default
+15). Rows present in only one report are listed but never fail the run.
+
+Exit status: 0 when no row regressed past the threshold (including when
+either report carries no benchmarks table at all — old baselines), 1 when
+at least one did. CI runs this as an advisory step: shared-runner timing
+noise means a red result is a prompt to look, not a gate.
+
+Standard library only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path: str, metric: str) -> dict[str, float] | None:
+    """Benchmark name -> metric value, or None if no benchmarks table."""
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    for table in report.get("tables", []):
+        if table.get("name") != "benchmarks":
+            continue
+        header = table.get("header", [])
+        if "benchmark" not in header or metric not in header:
+            raise SystemExit(
+                f"{path}: benchmarks table lacks a "
+                f"'benchmark' or '{metric}' column: {header}"
+            )
+        name_col = header.index("benchmark")
+        metric_col = header.index(metric)
+        rows = {}
+        for row in table.get("rows", []):
+            rows[row[name_col]] = float(row[metric_col])
+        return rows
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline bench report (JSON)")
+    parser.add_argument("candidate", help="candidate bench report (JSON)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=15.0,
+        metavar="PCT",
+        help="regression threshold in percent (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="real_ms",
+        help="benchmarks-table column to compare (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline, args.metric)
+    candidate = load_rows(args.candidate, args.metric)
+    if baseline is None or candidate is None:
+        missing = args.baseline if baseline is None else args.candidate
+        print(f"note: {missing} has no 'benchmarks' table; nothing to compare")
+        return 0
+
+    shared = sorted(set(baseline) & set(candidate))
+    regressions = []
+    print(
+        f"{'benchmark':<40} {'base ' + args.metric:>14} "
+        f"{'cand ' + args.metric:>14} {'delta':>9}"
+    )
+    for name in shared:
+        base = baseline[name]
+        cand = candidate[name]
+        delta_pct = 0.0 if base == 0 else (cand - base) / base * 100.0
+        flag = ""
+        if delta_pct > args.threshold:
+            regressions.append((name, base, cand, delta_pct))
+            flag = "  << REGRESSION"
+        print(f"{name:<40} {base:>14.3f} {cand:>14.3f} {delta_pct:>+8.1f}%{flag}")
+
+    for name in sorted(set(baseline) - set(candidate)):
+        print(f"{name:<40} (only in baseline)")
+    for name in sorted(set(candidate) - set(baseline)):
+        print(f"{name:<40} (only in candidate)")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} row(s) regressed more than "
+            f"{args.threshold:.0f}% on {args.metric}:"
+        )
+        for name, base, cand, delta_pct in regressions:
+            print(f"  {name}: {base:.3f} -> {cand:.3f} ({delta_pct:+.1f}%)")
+        return 1
+    print(f"\nno regression beyond {args.threshold:.0f}% across {len(shared)} rows")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
