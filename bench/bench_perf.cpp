@@ -29,6 +29,7 @@
 #include "protocols/common/vote.hpp"
 #include "protocols/crusader/crusader.hpp"
 #include "protocols/ic/interactive_consistency.hpp"
+#include "service/service.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -288,12 +289,82 @@ void BM_FamilySearchSweep(benchmark::State& state) {
   state.counters["shards"] = static_cast<double>(stats.shards);
 }
 
+// The agreement service at scale: an open-loop Poisson storm against a
+// wide cap under the block policy, so thousands of instances are active
+// at once (the acceptance floor is peak_active >= 1000). The service is
+// constructed once and re-run per iteration, so after the first iteration
+// every admission recycles a warm slot — this measures the steady state.
+// range(0) = worker threads draining each round batch.
+void BM_ServiceThroughput(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  da::service::ServiceConfig config;
+  config.arrivals = da::service::ArrivalSpec::poisson(400.0);
+  config.offered = 3000;
+  config.cap = 2048;
+  config.policy = da::service::OverloadPolicy::kBlock;
+  config.seed = 7;
+  config.jobs = jobs;
+  da::service::AgreementService svc(config);
+  da::service::ServiceResult result;
+  double total_completed = 0.0;
+  for (auto _ : state) {
+    result = svc.run();
+    total_completed += static_cast<double>(result.completed);
+    benchmark::DoNotOptimize(result.records.data());
+  }
+  state.counters["ips"] =
+      benchmark::Counter(total_completed, benchmark::Counter::kIsRate);
+  state.counters["peak_active"] = static_cast<double>(result.peak_active);
+  state.counters["p50"] = result.latency_quantile(0.50);
+  state.counters["p99"] = result.latency_quantile(0.99);
+  state.counters["slot_reuse"] = static_cast<double>(svc.slot_reuses());
+}
+
+// Decision latency per arrival model at a moderate load the cap can
+// absorb: p50/p99 in virtual time units. range(0) = ArrivalKind.
+void BM_ServiceLatency(benchmark::State& state) {
+  const auto kind = static_cast<da::service::ArrivalKind>(state.range(0));
+  da::service::ServiceConfig config;
+  switch (kind) {
+    case da::service::ArrivalKind::kPoisson:
+      config.arrivals = da::service::ArrivalSpec::poisson(100.0);
+      break;
+    case da::service::ArrivalKind::kBursty:
+      config.arrivals = da::service::ArrivalSpec::bursty(100.0);
+      break;
+    case da::service::ArrivalKind::kPareto:
+      config.arrivals = da::service::ArrivalSpec::pareto(100.0);
+      break;
+  }
+  config.offered = 2000;
+  config.cap = 512;
+  config.policy = da::service::OverloadPolicy::kBlock;
+  config.seed = 7;
+  da::service::AgreementService svc(config);
+  da::service::ServiceResult result;
+  for (auto _ : state) {
+    result = svc.run();
+    benchmark::DoNotOptimize(result.records.data());
+  }
+  state.SetLabel(da::service::to_string(kind));
+  state.counters["p50"] = result.latency_quantile(0.50);
+  state.counters["p99"] = result.latency_quantile(0.99);
+  state.counters["peak_active"] = static_cast<double>(result.peak_active);
+}
+BENCHMARK(BM_ServiceLatency)
+    ->Arg(static_cast<int>(da::service::ArrivalKind::kPoisson))
+    ->Arg(static_cast<int>(da::service::ArrivalKind::kBursty))
+    ->Arg(static_cast<int>(da::service::ArrivalKind::kPareto))
+    ->Unit(benchmark::kMillisecond);
+
 void register_sweep_benchmarks() {
   auto* behaviour =
       benchmark::RegisterBenchmark("BM_BehaviourSweep", BM_BehaviourSweep);
   auto* family = benchmark::RegisterBenchmark("BM_FamilySearchSweep",
                                               BM_FamilySearchSweep);
-  for (auto* bench : {behaviour, family}) {
+  auto* service = benchmark::RegisterBenchmark("BM_ServiceThroughput",
+                                               BM_ServiceThroughput);
+  for (auto* bench : {behaviour, family, service}) {
     bench->Unit(benchmark::kMillisecond)->Arg(1);
     if (g_jobs > 1) bench->Arg(g_jobs);
   }
@@ -357,6 +428,55 @@ int verify_analytic_counts() {
   return mismatches;
 }
 
+// Service determinism smoke: a tiny open-loop run per arrival model,
+// executed with 1 and 2 workers; the digests (and the byte-level
+// artifacts) must match. Runs in both normal and --smoke modes, so the
+// CI service-smoke job gets a real check and the `--json` report carries
+// a "service_smoke" table. Returns the number of mismatched rows.
+int verify_service_smoke() {
+  da::Table table({"model", "completed", "shed", "p50", "p99", "digest",
+                   "jobs_invariant"});
+  table.set_name("service_smoke");
+  int mismatches = 0;
+  for (const auto kind :
+       {da::service::ArrivalKind::kPoisson, da::service::ArrivalKind::kBursty,
+        da::service::ArrivalKind::kPareto}) {
+    da::service::ServiceConfig config;
+    switch (kind) {
+      case da::service::ArrivalKind::kPoisson:
+        config.arrivals = da::service::ArrivalSpec::poisson(20.0);
+        break;
+      case da::service::ArrivalKind::kBursty:
+        config.arrivals = da::service::ArrivalSpec::bursty(20.0);
+        break;
+      case da::service::ArrivalKind::kPareto:
+        config.arrivals = da::service::ArrivalSpec::pareto(20.0);
+        break;
+    }
+    config.offered = 200;
+    config.cap = 24;
+    config.queue_cap = 64;
+    config.seed = 7;
+    config.jobs = 1;
+    const auto lone = da::service::run_service(config);
+    config.jobs = 2;
+    const auto pair = da::service::run_service(config);
+    const bool invariant = lone.digest() == pair.digest() &&
+                           lone.artifact() == pair.artifact() &&
+                           lone.violations == 0 && pair.violations == 0;
+    if (!invariant) ++mismatches;
+    char digest[24];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  static_cast<unsigned long long>(lone.digest()));
+    table.row(da::service::to_string(kind), lone.completed, lone.shed,
+              lone.latency_quantile(0.50), lone.latency_quantile(0.99),
+              digest, invariant ? "yes" : "MISMATCH");
+  }
+  std::puts("\nService determinism smoke (jobs=1 vs jobs=2):");
+  table.print();
+  return mismatches;
+}
+
 // Console reporter that additionally captures every finished run as a
 // "benchmarks" table row, so the `--json` report carries the timings and
 // tools/bench_diff.py can compare two reports row-by-row.
@@ -414,6 +534,6 @@ int main(int argc, char** argv) {
     benchmark::Shutdown();
     reporter.add_table(bench_table);
   }
-  const int mismatches = verify_analytic_counts();
+  const int mismatches = verify_analytic_counts() + verify_service_smoke();
   return reporter.finish(mismatches == 0 ? 0 : 1);
 }

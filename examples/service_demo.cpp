@@ -1,0 +1,145 @@
+// Drive the long-lived agreement service (src/service/) from the command
+// line: an open-loop arrival stream of BYZ/IC jobs admitted against a
+// concurrency cap and executed in batched round ticks.
+//
+//   service_demo [flags]
+//     --model poisson|bursty|pareto   arrival model       (poisson)
+//     --rate R                        mean jobs/time unit (8.0)
+//     --offered N                     jobs to offer       (1000)
+//     --cap C                         concurrency cap, in slots (256)
+//     --queue Q                       queue bound for shed-oldest (1024)
+//     --policy shed|block             overload policy     (shed)
+//     --period P                      virtual time per round tick (1.0)
+//     --seed S                        arrival/mix seed    (1)
+//     --jobs J                        worker threads, 0 = all cores (1)
+//     --artifact                      dump the per-job artifact lines
+//
+// Prints a one-screen summary (throughput, latency quantiles, shed count,
+// determinism digest). Exit status is 0 iff every completed job satisfied
+// its applicable condition (D.1-D.4). docs/SERVICE.md walks through the
+// output; tools/docs_check.sh --service-demo executes that walkthrough.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/service.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "service_demo: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: service_demo [--model poisson|bursty|pareto] "
+               "[--rate R] [--offered N] [--cap C] [--queue Q] "
+               "[--policy shed|block] [--period P] [--seed S] [--jobs J] "
+               "[--artifact]\n");
+  std::exit(2);
+}
+
+double parse_positive(const char* flag, const char* arg) {
+  char* end = nullptr;
+  const double v = std::strtod(arg, &end);
+  if (end == arg || *end != '\0' || v <= 0.0) usage(flag);
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace da::service;
+
+  ServiceConfig config;
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate = 8.0;
+  bool dump_artifact = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* flag = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(flag);
+      return argv[++i];
+    };
+    if (std::strcmp(flag, "--model") == 0) {
+      const auto parsed = parse_arrival_kind(next());
+      if (!parsed.has_value()) usage("--model expects poisson|bursty|pareto");
+      kind = *parsed;
+    } else if (std::strcmp(flag, "--rate") == 0) {
+      rate = parse_positive("--rate expects a positive number", next());
+    } else if (std::strcmp(flag, "--offered") == 0) {
+      config.offered = static_cast<std::uint64_t>(
+          parse_positive("--offered expects a positive count", next()));
+    } else if (std::strcmp(flag, "--cap") == 0) {
+      config.cap = static_cast<int>(
+          parse_positive("--cap expects a positive count", next()));
+    } else if (std::strcmp(flag, "--queue") == 0) {
+      config.queue_cap = static_cast<std::size_t>(
+          parse_positive("--queue expects a positive count", next()));
+    } else if (std::strcmp(flag, "--policy") == 0) {
+      const char* p = next();
+      if (std::strcmp(p, "shed") == 0) {
+        config.policy = OverloadPolicy::kShedOldest;
+      } else if (std::strcmp(p, "block") == 0) {
+        config.policy = OverloadPolicy::kBlock;
+      } else {
+        usage("--policy expects shed|block");
+      }
+    } else if (std::strcmp(flag, "--period") == 0) {
+      config.round_period =
+          parse_positive("--period expects a positive number", next());
+    } else if (std::strcmp(flag, "--seed") == 0) {
+      config.seed = static_cast<std::uint64_t>(
+          std::strtoull(next(), nullptr, 10));
+    } else if (std::strcmp(flag, "--jobs") == 0) {
+      config.jobs = std::atoi(next());
+    } else if (std::strcmp(flag, "--artifact") == 0) {
+      dump_artifact = true;
+    } else {
+      usage(flag);
+    }
+  }
+
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      config.arrivals = ArrivalSpec::poisson(rate);
+      break;
+    case ArrivalKind::kBursty:
+      config.arrivals = ArrivalSpec::bursty(rate);
+      break;
+    case ArrivalKind::kPareto:
+      config.arrivals = ArrivalSpec::pareto(rate);
+      break;
+  }
+
+  AgreementService svc(config);
+  const ServiceResult result = svc.run();
+
+  std::printf("service: %s  cap=%d queue=%zu policy=%s period=%g seed=%llu "
+              "jobs=%d\n",
+              config.arrivals.to_string().c_str(), config.cap,
+              config.queue_cap, to_string(config.policy), config.round_period,
+              static_cast<unsigned long long>(config.seed), config.jobs);
+  std::printf("offered    %llu jobs\n",
+              static_cast<unsigned long long>(config.offered));
+  std::printf("completed  %llu   shed %llu   violations %llu\n",
+              static_cast<unsigned long long>(result.completed),
+              static_cast<unsigned long long>(result.shed),
+              static_cast<unsigned long long>(result.violations));
+  std::printf("makespan   %.3f time units over %llu ticks  (%.1f ms wall)\n",
+              result.makespan, static_cast<unsigned long long>(result.ticks),
+              result.wall_ms);
+  std::printf("throughput %.3f jobs/time unit   peak_active %d slots\n",
+              result.throughput(), result.peak_active);
+  std::printf("latency    p50 %.3f  p90 %.3f  p99 %.3f time units\n",
+              result.latency_quantile(0.50), result.latency_quantile(0.90),
+              result.latency_quantile(0.99));
+  std::printf("slots      created %llu  reused %llu\n",
+              static_cast<unsigned long long>(svc.slots_created()),
+              static_cast<unsigned long long>(svc.slot_reuses()));
+  std::printf("digest     %016llx\n",
+              static_cast<unsigned long long>(result.digest()));
+  if (dump_artifact) std::fputs(result.artifact().c_str(), stdout);
+
+  return result.violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,147 @@
+#include "service/arrivals.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace da::service {
+
+const char* to_string(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kBursty:
+      return "bursty";
+    case ArrivalKind::kPareto:
+      return "pareto";
+  }
+  return "?";
+}
+
+std::optional<ArrivalKind> parse_arrival_kind(std::string_view name) {
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  if (name == "bursty") return ArrivalKind::kBursty;
+  if (name == "pareto") return ArrivalKind::kPareto;
+  return std::nullopt;
+}
+
+ArrivalSpec ArrivalSpec::poisson(double rate) {
+  DA_EXPECTS(rate > 0.0);
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kPoisson;
+  spec.rate = rate;
+  return spec;
+}
+
+ArrivalSpec ArrivalSpec::bursty(double rate, double burstiness,
+                                double on_period, double off_period) {
+  DA_EXPECTS(rate > 0.0 && burstiness >= 1.0);
+  DA_EXPECTS(on_period > 0.0 && off_period >= 0.0);
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kBursty;
+  spec.rate = rate;
+  spec.on_period = on_period;
+  spec.off_period = off_period;
+  // Duty cycle on/(on+off); the ON-state rate compensates for the silence
+  // so the long-run offered load matches `rate` — but never below the
+  // requested burstiness factor.
+  const double duty = on_period / (on_period + off_period);
+  spec.burst_rate = rate * std::max(burstiness, 1.0 / duty);
+  return spec;
+}
+
+ArrivalSpec ArrivalSpec::pareto(double rate, double alpha, double cap) {
+  DA_EXPECTS(rate > 0.0 && alpha > 1.0 && cap > 1.0);
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kPareto;
+  spec.rate = rate;
+  spec.pareto_alpha = alpha;
+  spec.pareto_cap = cap;
+  return spec;
+}
+
+std::string ArrivalSpec::to_string() const {
+  char buf[128];
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      std::snprintf(buf, sizeof buf, "poisson(rate=%g)", rate);
+      break;
+    case ArrivalKind::kBursty:
+      std::snprintf(buf, sizeof buf,
+                    "bursty(rate=%g, burst_rate=%g, on=%g, off=%g)", rate,
+                    burst_rate, on_period, off_period);
+      break;
+    case ArrivalKind::kPareto:
+      std::snprintf(buf, sizeof buf, "pareto(rate=%g, alpha=%g, cap=%g)",
+                    rate, pareto_alpha, pareto_cap);
+      break;
+  }
+  return buf;
+}
+
+ArrivalGenerator::ArrivalGenerator(ArrivalSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(mix64(seed, 0x5e41)) {
+  DA_EXPECTS(spec_.rate > 0.0);
+  if (spec_.kind == ArrivalKind::kBursty) {
+    DA_EXPECTS(spec_.burst_rate > 0.0 && spec_.on_period > 0.0);
+    phase_end_ = exponential(spec_.on_period);
+  } else if (spec_.kind == ArrivalKind::kPareto) {
+    // Mean of the bounded Pareto on [1, cap] with tail index alpha != 1:
+    //   E[X] = alpha/(alpha-1) * (1 - cap^(1-alpha)) / (1 - cap^(-alpha)).
+    const double a = spec_.pareto_alpha;
+    const double cap = spec_.pareto_cap;
+    pareto_mean_ = a / (a - 1.0) * (1.0 - std::pow(cap, 1.0 - a)) /
+                   (1.0 - std::pow(cap, -a));
+  }
+}
+
+double ArrivalGenerator::exponential(double mean) {
+  // uniform() is in [0,1); flip to (0,1] so the log is finite.
+  return -mean * std::log(1.0 - rng_.uniform());
+}
+
+double ArrivalGenerator::bounded_pareto_gap() {
+  // Inverse-CDF draw from the bounded Pareto on [1, cap], rescaled so the
+  // long-run rate is spec_.rate.
+  const double a = spec_.pareto_alpha;
+  const double cap = spec_.pareto_cap;
+  const double u = rng_.uniform();
+  const double x =
+      std::pow(1.0 - u * (1.0 - std::pow(cap, -a)), -1.0 / a);
+  return x / (pareto_mean_ * spec_.rate);
+}
+
+double ArrivalGenerator::next() {
+  switch (spec_.kind) {
+    case ArrivalKind::kPoisson:
+      now_ += exponential(1.0 / spec_.rate);
+      return now_;
+    case ArrivalKind::kPareto:
+      now_ += bounded_pareto_gap();
+      return now_;
+    case ArrivalKind::kBursty:
+      break;
+  }
+  // Bursty: walk the on/off phase machine until an ON-state draw lands
+  // inside its phase.
+  for (;;) {
+    if (!on_) {
+      now_ = phase_end_;
+      on_ = true;
+      phase_end_ = now_ + exponential(spec_.on_period);
+      continue;
+    }
+    const double gap = exponential(1.0 / spec_.burst_rate);
+    if (now_ + gap <= phase_end_) {
+      now_ += gap;
+      return now_;
+    }
+    // The burst ended before the next arrival; enter an OFF phase.
+    now_ = phase_end_;
+    on_ = false;
+    phase_end_ = now_ + exponential(spec_.off_period);
+  }
+}
+
+}  // namespace da::service

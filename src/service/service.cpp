@@ -1,0 +1,528 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "core/byz.hpp"
+#include "faults/adversaries.hpp"
+#include "obs/metrics.hpp"
+#include "protocols/lamport/om.hpp"
+#include "sweep/sweep.hpp"
+#include "util/contracts.hpp"
+
+namespace da::service {
+
+namespace {
+
+const obs::Counter& arrivals_counter() {
+  static const obs::Counter c("service.arrivals");
+  return c;
+}
+const obs::Counter& admitted_counter() {
+  static const obs::Counter c("service.admitted");
+  return c;
+}
+const obs::Counter& completed_counter() {
+  static const obs::Counter c("service.completed");
+  return c;
+}
+const obs::Counter& shed_counter() {
+  static const obs::Counter c("service.shed");
+  return c;
+}
+const obs::Counter& instances_counter() {
+  static const obs::Counter c("service.instances_completed");
+  return c;
+}
+const obs::Counter& slots_created_counter() {
+  static const obs::Counter c("service.slots_created");
+  return c;
+}
+const obs::Counter& slot_reuse_counter() {
+  static const obs::Counter c("service.slot_reuse");
+  return c;
+}
+const obs::Counter& ticks_counter() {
+  static const obs::Counter c("service.ticks");
+  return c;
+}
+const obs::Counter& rounds_driven_counter() {
+  static const obs::Counter c("service.rounds_driven");
+  return c;
+}
+const obs::Histogram& decision_latency_histogram() {
+  static const obs::Histogram h("service.decision_latency");
+  return h;
+}
+const obs::Histogram& queue_wait_histogram() {
+  static const obs::Histogram h("service.queue_wait");
+  return h;
+}
+const obs::Histogram& tick_ms_histogram() {
+  static const obs::Histogram h("service.tick_ms");
+  return h;
+}
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+std::uint64_t fold_value(std::uint64_t h, Value v) {
+  return mix64(h, v.is_default() ? ~std::uint64_t{0}
+                                 : static_cast<std::uint64_t>(v.raw()));
+}
+
+std::uint64_t fold_double(std::uint64_t h, double d) {
+  return mix64(h, std::bit_cast<std::uint64_t>(d));
+}
+
+/// Severity order for folding an IC job's per-coordinate conditions into
+/// one: report the strongest condition that *applied* (a faulty-sender
+/// coordinate under D.2/D.4 outranks the fault-free ones).
+int condition_rank(Condition c) {
+  switch (c) {
+    case Condition::kNone:
+      return 0;
+    case Condition::kD1:
+      return 1;
+    case Condition::kD3:
+      return 2;
+    case Condition::kD2:
+      return 3;
+    case Condition::kD4:
+      return 4;
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kByz:
+      return "byz";
+    case JobKind::kIc:
+      return "ic";
+  }
+  return "?";
+}
+
+const char* to_string(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock:
+      return "block";
+    case OverloadPolicy::kShedOldest:
+      return "shed-oldest";
+  }
+  return "?";
+}
+
+std::string JobTemplate::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s n=%d m=%d u=%d sender=%d f=%zu",
+                service::to_string(kind), config.n, config.m, config.u,
+                static_cast<int>(sender), faulty.size());
+  return buf;
+}
+
+std::vector<JobTemplate> default_mix() {
+  std::vector<JobTemplate> mix;
+  // Degraded-range BYZ (f = 2 > m = 1): exercises D.3.
+  mix.push_back({JobKind::kByz, Config{.n = 7, .m = 1, .u = 4}, 0,
+                 Value::of(17), {2, 3}});
+  // Minimal feasible BYZ (f = 1 = m): exercises D.1.
+  mix.push_back({JobKind::kByz, Config{.n = 4, .m = 1, .u = 1}, 0,
+                 Value::of(17), {1}});
+  // Exact-range BYZ at m = 2 (3 rounds, the heavy shape).
+  mix.push_back({JobKind::kByz, Config{.n = 7, .m = 2, .u = 2}, 0,
+                 Value::of(17), {1, 2}});
+  // Interactive consistency: 4 parallel OM(1) coordinates per job.
+  mix.push_back({JobKind::kIc, Config{.n = 4, .m = 1, .u = 1}, 0,
+                 Value::of(17), {3}});
+  return mix;
+}
+
+/// One recyclable scenario shape: everything needed to stamp out (or
+/// rewind) an instance of a specific (protocol, config, sender, value,
+/// faulty) combination. The `start` snapshot is taken at the round-0
+/// pre-dispatch boundary, where no adversary decision has happened yet.
+struct AgreementService::Shape {
+  JobKind kind = JobKind::kByz;
+  ScenarioSpec spec{};  // config/sender/value/faulty, for the checker
+  sim::RunOptions options{};
+  sim::RoundEngine::Snapshot start{};
+  int rounds = 0;
+
+  [[nodiscard]] std::vector<std::unique_ptr<sim::Process>> make() const {
+    if (kind == JobKind::kByz) {
+      return core::make_byz_processes(spec.config, spec.sender,
+                                      spec.sender_value);
+    }
+    return protocols::lamport::make_om_processes(
+        spec.config.n, spec.config.m, spec.sender, spec.sender_value);
+  }
+};
+
+/// A pooled engine bound to one shape. Recycling = `restore(start)` +
+/// `set_adversary`; the engine's buffers are assigned over, never
+/// reallocated, so a warm pool admits instances without touching the
+/// allocator.
+struct AgreementService::InstanceSlot {
+  int shape_index = 0;
+  std::uint64_t job_id = 0;
+  sim::RoundEngine engine;
+
+  InstanceSlot(int shape, const Shape& s)
+      : shape_index(shape), engine(s.make(), s.options) {}
+};
+
+struct AgreementService::ActiveJob {
+  int remaining_subs = 0;
+};
+
+AgreementService::AgreementService(ServiceConfig config)
+    : config_(std::move(config)) {
+  DA_EXPECTS(config_.cap >= 1);
+  DA_EXPECTS(config_.round_period > 0.0);
+  mix_ = config_.mix.empty() ? default_mix() : config_.mix;
+  // The stateless adversary family instances draw from; all derive their
+  // behaviour from message identity alone, so one object serves any
+  // number of concurrent instances on any number of workers.
+  adversaries_.push_back(faults::silent());
+  adversaries_.push_back(faults::default_spammer());
+  adversaries_.push_back(faults::constant_liar(Value::of(5)));
+  adversaries_.push_back(faults::equivocator(Value::of(17), Value::of(5)));
+  adversaries_.push_back(
+      faults::pivot_equivocator(Value::of(17), Value::of(5), 3));
+  adversaries_.push_back(faults::crash_after(0));
+  build_shapes();
+  const int jobs = sweep::resolve_jobs(config_.jobs);
+  config_.jobs = jobs;
+  if (jobs > 1) pool_ = std::make_unique<sweep::ThreadPool>(jobs);
+}
+
+AgreementService::~AgreementService() = default;
+
+void AgreementService::build_shapes() {
+  template_shapes_.resize(mix_.size());
+  for (std::size_t t = 0; t < mix_.size(); ++t) {
+    const JobTemplate& tmpl = mix_[t];
+    DA_EXPECTS(tmpl.config.valid());
+    const int width =
+        tmpl.kind == JobKind::kIc ? tmpl.config.n : 1;
+    DA_EXPECTS(width <= config_.cap);  // a wider job could never admit
+    for (int sub = 0; sub < width; ++sub) {
+      auto shape = std::make_unique<Shape>();
+      shape->kind = tmpl.kind == JobKind::kByz ? JobKind::kByz : JobKind::kIc;
+      shape->spec.config = tmpl.config;
+      if (tmpl.kind == JobKind::kIc) {
+        // Coordinate `sub`: node `sub` distributes its private value via
+        // OM(m); u = m (OM makes no degraded promise).
+        shape->spec.config.u = tmpl.config.m;
+        shape->spec.sender = static_cast<NodeId>(sub);
+        shape->spec.sender_value =
+            Value::of(tmpl.sender_value.raw() + sub);
+      } else {
+        shape->spec.sender = tmpl.sender;
+        shape->spec.sender_value = tmpl.sender_value;
+      }
+      shape->spec.faulty = tmpl.faulty;
+      shape->options.faulty = tmpl.faulty;
+      // A non-null placeholder satisfies the engine's faulty => adversary
+      // contract; every admission installs the job's real adversary.
+      shape->options.adversary =
+          tmpl.faulty.empty() ? nullptr : adversaries_.front().get();
+      // Template engine: collect round-0 sends once, snapshot the
+      // pre-dispatch boundary. Every instance of this shape starts as a
+      // restore of this snapshot.
+      sim::RoundEngine tmpl_engine(shape->make(), shape->options);
+      tmpl_engine.begin();
+      shape->start = tmpl_engine.snapshot();
+      shape->rounds = tmpl_engine.total_rounds();
+      template_shapes_[t].push_back(static_cast<int>(shapes_.size()));
+      shapes_.push_back(std::move(shape));
+    }
+  }
+  free_slots_.resize(shapes_.size());
+}
+
+AgreementService::InstanceSlot* AgreementService::acquire_slot(
+    int shape_index) {
+  auto& free = free_slots_[static_cast<std::size_t>(shape_index)];
+  if (!free.empty()) {
+    InstanceSlot* slot = free.back();
+    free.pop_back();
+    ++slot_reuses_;
+    slot_reuse_counter().add();
+    return slot;
+  }
+  ++slots_created_;
+  slots_created_counter().add();
+  slots_.push_back(std::make_unique<InstanceSlot>(
+      shape_index, *shapes_[static_cast<std::size_t>(shape_index)]));
+  return slots_.back().get();
+}
+
+void AgreementService::release_slot(InstanceSlot* slot) {
+  free_slots_[static_cast<std::size_t>(slot->shape_index)].push_back(slot);
+}
+
+bool AgreementService::try_admit(std::uint64_t job_id, double now) {
+  JobRecord& rec = records_[job_id];
+  const auto& shape_ids =
+      template_shapes_[static_cast<std::size_t>(rec.template_index)];
+  const int width = static_cast<int>(shape_ids.size());
+  if (active_width_ + width > config_.cap) return false;
+  for (int shape_index : shape_ids) {
+    InstanceSlot* slot = acquire_slot(shape_index);
+    const Shape& shape = *shapes_[static_cast<std::size_t>(shape_index)];
+    slot->job_id = job_id;
+    slot->engine.restore(shape.start);
+    slot->engine.set_adversary(
+        shape.options.faulty.empty()
+            ? nullptr
+            : adversaries_[static_cast<std::size_t>(rec.adversary_index)]
+                  .get());
+    active_.push_back(slot);
+  }
+  active_width_ += width;
+  jobs_[job_id].remaining_subs = width;
+  rec.admitted = now;
+  admitted_counter().add();
+  queue_wait_histogram().record(rec.queue_wait());
+  return true;
+}
+
+void AgreementService::drain_queue(double now) {
+  // FIFO head-of-line: later (possibly narrower) jobs never overtake the
+  // head — admission order is part of the determinism contract.
+  while (!queue_.empty() && try_admit(queue_.front(), now)) {
+    queue_.pop_front();
+  }
+}
+
+void AgreementService::complete_sub_instance(InstanceSlot& slot, double now) {
+  const Shape& shape = *shapes_[static_cast<std::size_t>(slot.shape_index)];
+  slot.engine.finish_into(scratch_result_);
+  JobRecord& rec = records_[slot.job_id];
+  const ConditionReport report =
+      check_conditions(shape.spec, scratch_result_.decisions);
+  if (condition_rank(report.applied) > condition_rank(rec.applied)) {
+    rec.applied = report.applied;
+  }
+  rec.satisfied = rec.satisfied && report.satisfied;
+  std::uint64_t h = rec.decisions_digest;
+  for (const auto& [node, value] : scratch_result_.decisions) {
+    h = mix64(h, static_cast<std::uint64_t>(node));
+    h = fold_value(h, value);
+  }
+  rec.decisions_digest = h;
+  instances_counter().add();
+  ActiveJob& job = jobs_[slot.job_id];
+  if (--job.remaining_subs == 0) {
+    rec.completed = now;
+    ++finished_this_run_;
+  }
+}
+
+void AgreementService::tick(double now) {
+  const obs::ScopedTimer timer(tick_ms_histogram());
+  ticks_counter().add();
+  rounds_driven_counter().add(active_.size());
+  // Batched round dispatch: every co-scheduled instance advances exactly
+  // one synchronous round. Instances are disjoint process sets, so the
+  // batch parallelizes freely; the records stay identical for any worker
+  // count because each slot's outcome is a pure function of its own state.
+  const auto advance = [](InstanceSlot* slot) {
+    slot->engine.dispatch_pending();
+    slot->engine.process_round();
+  };
+  if (pool_ != nullptr && active_.size() > 1) {
+    const std::size_t chunks =
+        std::min<std::size_t>(active_.size(),
+                              static_cast<std::size_t>(pool_->threads()) * 4);
+    const std::size_t per = (active_.size() + chunks - 1) / chunks;
+    for (std::size_t begin = 0; begin < active_.size(); begin += per) {
+      const std::size_t end = std::min(begin + per, active_.size());
+      pool_->submit([this, begin, end, &advance] {
+        const obs::MetricsScope worker_scope;
+        for (std::size_t i = begin; i < end; ++i) advance(active_[i]);
+      });
+    }
+    pool_->wait_idle();
+  } else {
+    for (InstanceSlot* slot : active_) advance(slot);
+  }
+  // Sequential completion scan in active order (deterministic): fold
+  // finished sub-instances into their job records and recycle the slots.
+  std::size_t kept = 0;
+  for (InstanceSlot* slot : active_) {
+    if (!slot->engine.done()) {
+      active_[kept++] = slot;
+      continue;
+    }
+    complete_sub_instance(*slot, now);
+    release_slot(slot);
+    --active_width_;
+  }
+  active_.resize(kept);
+}
+
+ServiceResult AgreementService::run() {
+  const obs::MetricsScope metrics_scope;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t offered = config_.offered;
+  DA_EXPECTS(offered >= 1);
+  DA_EXPECTS(active_.empty());
+
+  records_.clear();
+  records_.resize(offered);
+  jobs_.clear();
+  jobs_.resize(offered);
+  queue_.clear();
+
+  ServiceResult result;
+  ArrivalGenerator gen(config_.arrivals, config_.seed);
+  std::uint64_t arrived = 0;
+  finished_this_run_ = 0;  // completed + shed
+  double next_arrival = gen.next();
+  double next_tick = kNever;
+  double now = 0.0;
+
+  while (finished_this_run_ < offered) {
+    if (arrived < offered && next_arrival <= next_tick) {
+      // Arrival event (ties with a tick resolve arrival-first, so a job
+      // arriving exactly at a tick boundary can join that tick's batch).
+      now = next_arrival;
+      const std::uint64_t id = arrived++;
+      next_arrival = arrived < offered ? gen.next() : kNever;
+      arrivals_counter().add();
+      JobRecord& rec = records_[id];
+      rec.id = id;
+      rec.arrival = now;
+      rec.template_index = static_cast<int>(
+          mix64(config_.seed, mix64(id, 0x70)) % mix_.size());
+      rec.adversary_index = static_cast<int>(
+          mix64(config_.seed, mix64(id, 0xad)) % adversaries_.size());
+      if (queue_.empty() && try_admit(id, now)) {
+        // Admitted on arrival.
+      } else {
+        queue_.push_back(id);
+        if (config_.policy == OverloadPolicy::kShedOldest &&
+            queue_.size() > config_.queue_cap) {
+          const std::uint64_t victim = queue_.front();
+          queue_.pop_front();
+          records_[victim].shed = true;
+          records_[victim].applied = Condition::kNone;
+          shed_counter().add();
+          ++result.shed;
+          ++finished_this_run_;
+        }
+      }
+      if (!active_.empty() && next_tick == kNever) {
+        next_tick = now + config_.round_period;
+      }
+      result.peak_active = std::max(result.peak_active, active_width_);
+      continue;
+    }
+    DA_EXPECTS(next_tick != kNever);  // else nothing active and no arrivals
+    now = next_tick;
+    tick(now);  // bumps finished_this_run_ as jobs settle
+    ++result.ticks;
+    // Completions freed capacity; admit the queue head(s) at tick time.
+    drain_queue(now);
+    result.peak_active = std::max(result.peak_active, active_width_);
+    next_tick = active_.empty() ? kNever : now + config_.round_period;
+  }
+
+  // Fold the per-run aggregates.
+  result.records = records_;
+  result.completed = 0;
+  result.violations = 0;
+  result.makespan = now;
+  for (const JobRecord& rec : result.records) {
+    if (rec.shed) continue;
+    ++result.completed;
+    completed_counter().add();
+    decision_latency_histogram().record(rec.latency());
+    if (!rec.satisfied) ++result.violations;
+  }
+  obs::MetricsRegistry::global().set_gauge("service.peak_active",
+                                           result.peak_active);
+  obs::MetricsRegistry::global().set_gauge("service.cap", config_.cap);
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  return result;
+}
+
+double ServiceResult::latency_quantile(double q) const {
+  std::vector<double> latencies;
+  latencies.reserve(records.size());
+  for (const JobRecord& rec : records) {
+    if (!rec.shed && rec.completed >= 0.0) latencies.push_back(rec.latency());
+  }
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const std::size_t index = std::min(
+      latencies.size() - 1,
+      static_cast<std::size_t>(clamped *
+                               static_cast<double>(latencies.size() - 1) +
+                               0.5));
+  return latencies[index];
+}
+
+std::uint64_t ServiceResult::digest() const {
+  // Everything deterministic about the run, excluding wall_ms.
+  std::uint64_t h = mix64(0x5e41ce, records.size());
+  for (const JobRecord& rec : records) {
+    h = mix64(h, rec.id);
+    h = mix64(h, static_cast<std::uint64_t>(rec.template_index));
+    h = mix64(h, static_cast<std::uint64_t>(rec.adversary_index));
+    h = fold_double(h, rec.arrival);
+    h = mix64(h, rec.shed ? 1 : 0);
+    if (rec.shed) continue;
+    h = fold_double(h, rec.admitted);
+    h = fold_double(h, rec.completed);
+    h = mix64(h, static_cast<std::uint64_t>(rec.applied));
+    h = mix64(h, rec.satisfied ? 1 : 0);
+    h = mix64(h, rec.decisions_digest);
+  }
+  return h;
+}
+
+std::string ServiceResult::artifact() const {
+  std::string out;
+  out.reserve(records.size() * 96);
+  char line[192];
+  for (const JobRecord& rec : records) {
+    if (rec.shed) {
+      std::snprintf(line, sizeof line,
+                    "job %llu tmpl=%d adv=%d arrival=%.6f SHED\n",
+                    static_cast<unsigned long long>(rec.id),
+                    rec.template_index, rec.adversary_index, rec.arrival);
+    } else {
+      std::snprintf(line, sizeof line,
+                    "job %llu tmpl=%d adv=%d arrival=%.6f admitted=%.6f "
+                    "completed=%.6f %s %s digest=%016llx\n",
+                    static_cast<unsigned long long>(rec.id),
+                    rec.template_index, rec.adversary_index, rec.arrival,
+                    rec.admitted, rec.completed, to_string(rec.applied),
+                    rec.satisfied ? "ok" : "VIOLATED",
+                    static_cast<unsigned long long>(rec.decisions_digest));
+    }
+    out += line;
+  }
+  return out;
+}
+
+ServiceResult run_service(const ServiceConfig& config) {
+  AgreementService svc(config);
+  return svc.run();
+}
+
+}  // namespace da::service

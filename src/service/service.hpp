@@ -1,0 +1,231 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checker.hpp"
+#include "core/scenario.hpp"
+#include "service/arrivals.hpp"
+#include "sim/adversary.hpp"
+#include "sim/round_engine.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace da::service {
+
+/// Agreement as a service: a long-lived loop driving thousands of
+/// concurrent BYZ/IC instances off one global virtual-time event queue,
+/// built on `sim::RoundEngine` snapshots (docs/SERVICE.md).
+///
+/// The paper's protocols are exercised elsewhere one instance per `run()`
+/// call; here a stream of agreement *jobs* arrives open-loop (Poisson,
+/// bursty, heavy-tailed — `service/arrivals.hpp`), is admitted against a
+/// concurrency cap with configurable backpressure, and is executed in
+/// *batched round ticks*: every `round_period` of virtual time, all
+/// co-scheduled instances advance one synchronous round together, drained
+/// by the sweep engine's work-stealing pool when `jobs > 1`.
+///
+/// Steady-state admission is allocation-free: per distinct scenario
+/// *shape* (protocol, config, sender, value, faulty set) the service
+/// keeps a template `RoundEngine::Snapshot` taken at the round-0
+/// pre-dispatch boundary, and a pool of recycled `InstanceSlot`s whose
+/// engines are rewound with `restore()` (which assigns over existing
+/// buffers) instead of rebuilt. Because that boundary precedes every
+/// adversary decision, `set_adversary()` per admission is sound — the
+/// same argument the checkpointed searches rely on (docs/SEARCH.md §4).
+///
+/// Determinism contract: for a fixed (seed, arrival spec, cap, policy,
+/// mix), the per-job records — arrival/admission/completion times,
+/// verdicts, decision digests — are identical for every `jobs` value.
+/// Arrivals and admissions happen on the event-loop thread only; workers
+/// touch disjoint engines; all adversary behaviour is a pure function of
+/// message identity. `ServiceResult::digest()` folds every record so
+/// tests can pin the contract in one comparison.
+
+/// What kind of agreement one arriving job asks for.
+enum class JobKind {
+  /// One BYZ(m,m) instance: `config`, `sender`, `sender_value`.
+  kByz,
+  /// One interactive-consistency job: `config.n` parallel OM(m)
+  /// instances, one per sender (node i's private value is
+  /// `sender_value + i`); the job completes when the last coordinate
+  /// decides. Occupies `config.n` slots while active.
+  kIc,
+};
+
+[[nodiscard]] const char* to_string(JobKind kind);
+
+/// One entry of the service's scenario mix. Each arriving job draws a
+/// template (and an adversary from the service's stateless family) by a
+/// pure function of (seed, job id).
+struct JobTemplate {
+  JobKind kind = JobKind::kByz;
+  Config config{};
+  NodeId sender = 0;
+  Value sender_value = Value::of(17);
+  std::vector<NodeId> faulty{};
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The standard mix used by benches and the demo: three BYZ shapes
+/// (n=7 1/4-degradable, n=4 1/1, n=7 2/2) and one n=4 IC job, faults
+/// within budget so D.1-D.4 all hold and the stream stays clean.
+[[nodiscard]] std::vector<JobTemplate> default_mix();
+
+/// What to do when arrivals outpace the cap.
+enum class OverloadPolicy {
+  /// Queue without bound; every job is eventually admitted FIFO. Latency
+  /// absorbs the backlog.
+  kBlock,
+  /// Bound the admission queue at `queue_cap` jobs; when a new arrival
+  /// would exceed it, the *oldest* queued job is shed (dropped, counted,
+  /// recorded with `shed = true`). The newest arrivals ride out bursts.
+  kShedOldest,
+};
+
+[[nodiscard]] const char* to_string(OverloadPolicy policy);
+
+struct ServiceConfig {
+  ArrivalSpec arrivals = ArrivalSpec::poisson(8.0);
+  /// Jobs the arrival process offers per `run()`.
+  std::uint64_t offered = 1000;
+  /// Concurrency cap, in slots (an IC job holds `n` slots at once).
+  int cap = 256;
+  /// Queue bound for kShedOldest, in jobs.
+  std::size_t queue_cap = 1024;
+  OverloadPolicy policy = OverloadPolicy::kShedOldest;
+  /// Virtual time between round ticks (every active instance advances
+  /// one synchronous round per tick).
+  double round_period = 1.0;
+  std::uint64_t seed = 1;
+  /// Worker threads draining each round batch; <= 1 drains inline.
+  int jobs = 1;
+  /// Scenario mix; `default_mix()` when empty.
+  std::vector<JobTemplate> mix{};
+};
+
+/// Outcome of one job, in virtual time. `admitted`/`completed` are
+/// negative while not (yet) reached; a shed job never gets either.
+struct JobRecord {
+  std::uint64_t id = 0;
+  int template_index = 0;
+  int adversary_index = 0;
+  double arrival = 0.0;
+  double admitted = -1.0;
+  double completed = -1.0;
+  bool shed = false;
+  /// Folded over all coordinates for kIc (worst coordinate wins:
+  /// satisfied only if every coordinate satisfied).
+  Condition applied = Condition::kNone;
+  bool satisfied = true;
+  /// mix64 fold of every (node, decision) pair, all coordinates.
+  std::uint64_t decisions_digest = 0;
+
+  [[nodiscard]] double queue_wait() const {
+    return admitted < 0.0 ? 0.0 : admitted - arrival;
+  }
+  [[nodiscard]] double latency() const {
+    return completed < 0.0 ? 0.0 : completed - arrival;
+  }
+};
+
+/// Aggregate of one `run()` call.
+struct ServiceResult {
+  std::vector<JobRecord> records;  // by job id, one per offered job
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t violations = 0;  // jobs whose D.1-D.4 verdict failed
+  /// Virtual completion time of the last job.
+  double makespan = 0.0;
+  /// Wall-clock time the run took (the only nondeterministic field).
+  double wall_ms = 0.0;
+  /// Highest number of simultaneously active slots observed.
+  int peak_active = 0;
+  std::uint64_t ticks = 0;
+
+  /// Exact latency quantile over completed jobs (q in [0,1]); 0 when
+  /// nothing completed.
+  [[nodiscard]] double latency_quantile(double q) const;
+  /// Completed jobs per unit of virtual time.
+  [[nodiscard]] double throughput() const {
+    return makespan <= 0.0 ? 0.0
+                           : static_cast<double>(completed) / makespan;
+  }
+  /// Order- and jobs-invariant fold of every record; the determinism pin.
+  [[nodiscard]] std::uint64_t digest() const;
+  /// Canonical one-line-per-job text artifact (byte-identical across
+  /// `jobs` values for a fixed config).
+  [[nodiscard]] std::string artifact() const;
+};
+
+/// The long-lived service. Construct once; `run()` may be called
+/// repeatedly — slots, engines and queues persist across runs, so every
+/// run after the first starts warm (no slot construction at all when the
+/// mix is unchanged).
+class AgreementService {
+ public:
+  explicit AgreementService(ServiceConfig config);
+  ~AgreementService();
+
+  AgreementService(const AgreementService&) = delete;
+  AgreementService& operator=(const AgreementService&) = delete;
+
+  /// Offers `config().offered` jobs through the arrival model and drives
+  /// the event loop until every job is completed or shed. Virtual time
+  /// restarts at 0 each run; the arrival stream is re-seeded identically,
+  /// so repeated runs of an unchanged service are identical.
+  [[nodiscard]] ServiceResult run();
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+  /// Slots constructed / recycled since construction (mirrors the
+  /// `service.slots_created` / `service.slot_reuse` counters, readable
+  /// without a registry snapshot).
+  [[nodiscard]] std::uint64_t slots_created() const { return slots_created_; }
+  [[nodiscard]] std::uint64_t slot_reuses() const { return slot_reuses_; }
+
+ private:
+  struct Shape;
+  struct InstanceSlot;
+  struct ActiveJob;
+
+  void build_shapes();
+  [[nodiscard]] InstanceSlot* acquire_slot(int shape_index);
+  void release_slot(InstanceSlot* slot);
+  [[nodiscard]] bool try_admit(std::uint64_t job_id, double now);
+  void drain_queue(double now);
+  void tick(double now);
+  void complete_sub_instance(InstanceSlot& slot, double now);
+
+  ServiceConfig config_;
+  std::vector<JobTemplate> mix_;
+  /// Stateless adversary family shared by all concurrent instances.
+  std::vector<std::unique_ptr<sim::Adversary>> adversaries_;
+  std::vector<std::unique_ptr<Shape>> shapes_;
+  /// mix_[t] -> indices into shapes_, one per sub-instance of a job.
+  std::vector<std::vector<int>> template_shapes_;
+
+  std::vector<std::unique_ptr<InstanceSlot>> slots_;   // owner
+  std::vector<std::vector<InstanceSlot*>> free_slots_;  // per shape
+  std::vector<InstanceSlot*> active_;
+  std::vector<ActiveJob> jobs_;  // per offered job, reused across runs
+  std::deque<std::uint64_t> queue_;
+  int active_width_ = 0;
+
+  std::unique_ptr<sweep::ThreadPool> pool_;
+  std::uint64_t slots_created_ = 0;
+  std::uint64_t slot_reuses_ = 0;
+
+  // Per-run scratch (kept across runs to preserve capacity).
+  std::vector<JobRecord> records_;
+  std::uint64_t finished_this_run_ = 0;  // completed + shed jobs
+  sim::RunResult scratch_result_;
+};
+
+/// One-shot convenience: construct, run once, return the result.
+[[nodiscard]] ServiceResult run_service(const ServiceConfig& config);
+
+}  // namespace da::service

@@ -1,0 +1,285 @@
+// The agreement service (src/service/): arrival-model statistics, the
+// admission/backpressure machinery, slot recycling, and the determinism
+// contract — fixed (seed, arrival spec, cap, policy) must yield
+// byte-identical per-job artifacts for every `jobs` value.
+
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "service/arrivals.hpp"
+
+namespace da::service {
+namespace {
+
+std::uint64_t registry_counter(const char* name) {
+  return obs::MetricsRegistry::global().counter_value(name);
+}
+
+// ------------------------------------------------------------ arrivals --
+
+TEST(Arrivals, ParseRoundTrips) {
+  for (ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kBursty, ArrivalKind::kPareto}) {
+    const auto parsed = parse_arrival_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_arrival_kind("uniform").has_value());
+  EXPECT_FALSE(parse_arrival_kind("").has_value());
+}
+
+TEST(Arrivals, StrictlyIncreasingAndDeterministic) {
+  for (ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kBursty, ArrivalKind::kPareto}) {
+    ArrivalSpec spec;
+    switch (kind) {
+      case ArrivalKind::kPoisson:
+        spec = ArrivalSpec::poisson(4.0);
+        break;
+      case ArrivalKind::kBursty:
+        spec = ArrivalSpec::bursty(4.0);
+        break;
+      case ArrivalKind::kPareto:
+        spec = ArrivalSpec::pareto(4.0);
+        break;
+    }
+    ArrivalGenerator a(spec, 11);
+    ArrivalGenerator b(spec, 11);
+    ArrivalGenerator c(spec, 12);
+    double prev = 0.0;
+    bool seed_matters = false;
+    for (int i = 0; i < 1000; ++i) {
+      const double t = a.next();
+      EXPECT_GT(t, prev) << to_string(kind) << " draw " << i;
+      EXPECT_DOUBLE_EQ(t, b.next()) << to_string(kind);
+      if (t != c.next()) seed_matters = true;
+      prev = t;
+    }
+    EXPECT_TRUE(seed_matters) << to_string(kind);
+  }
+}
+
+TEST(Arrivals, PoissonMatchesRate) {
+  const double rate = 8.0;
+  ArrivalGenerator gen(ArrivalSpec::poisson(rate), 5);
+  const int n = 20000;
+  double last = 0.0;
+  for (int i = 0; i < n; ++i) last = gen.next();
+  const double observed = n / last;
+  EXPECT_NEAR(observed, rate, 0.05 * rate);
+}
+
+TEST(Arrivals, BurstyMatchesLongRunRate) {
+  // The ON-state rate compensates for the OFF silences: over many on/off
+  // cycles the long-run rate converges to the requested mean.
+  const double rate = 6.0;
+  ArrivalGenerator gen(ArrivalSpec::bursty(rate), 5);
+  const int n = 50000;
+  double last = 0.0;
+  for (int i = 0; i < n; ++i) last = gen.next();
+  EXPECT_NEAR(n / last, rate, 0.15 * rate);
+}
+
+TEST(Arrivals, ParetoGapsBoundedAndMatchRate) {
+  const double rate = 5.0;
+  const double alpha = 1.5;
+  const double cap = 100.0;
+  ArrivalGenerator gen(ArrivalSpec::pareto(rate, alpha, cap), 5);
+  const int n = 50000;
+  double prev = 0.0;
+  double last = 0.0;
+  double max_gap = 0.0;
+  double min_gap = 1e300;
+  for (int i = 0; i < n; ++i) {
+    last = gen.next();
+    const double gap = last - prev;
+    max_gap = std::max(max_gap, gap);
+    min_gap = std::min(min_gap, gap);
+    prev = last;
+  }
+  // Bounded support: every gap lies in [min, cap * min] where min is the
+  // unscaled minimum rescaled by the mean; heavy tail means the largest
+  // observed gap dwarfs the smallest.
+  EXPECT_LE(max_gap, cap * min_gap * (1.0 + 1e-9));
+  EXPECT_GT(max_gap, 10.0 * min_gap);
+  EXPECT_NEAR(n / last, rate, 0.1 * rate);
+}
+
+// ------------------------------------------------------------- service --
+
+ServiceConfig small_config() {
+  ServiceConfig config;
+  config.arrivals = ArrivalSpec::poisson(10.0);
+  config.offered = 300;
+  config.cap = 32;
+  config.seed = 21;
+  return config;
+}
+
+TEST(Service, CompletesEveryJobUnderBlockPolicy) {
+  ServiceConfig config = small_config();
+  config.policy = OverloadPolicy::kBlock;
+  const ServiceResult result = run_service(config);
+  EXPECT_EQ(result.completed, config.offered);
+  EXPECT_EQ(result.shed, 0u);
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_EQ(result.records.size(), config.offered);
+  for (const JobRecord& rec : result.records) {
+    EXPECT_FALSE(rec.shed);
+    EXPECT_GE(rec.admitted, rec.arrival);
+    EXPECT_GT(rec.completed, rec.admitted);
+    EXPECT_TRUE(rec.satisfied) << "job " << rec.id;
+    EXPECT_NE(rec.applied, Condition::kNone) << "job " << rec.id;
+    EXPECT_NE(rec.decisions_digest, 0u) << "job " << rec.id;
+  }
+  EXPECT_GT(result.throughput(), 0.0);
+  // Nearest-rank quantiles are monotone in q.
+  EXPECT_LE(result.latency_quantile(0.5), result.latency_quantile(0.9));
+  EXPECT_LE(result.latency_quantile(0.9), result.latency_quantile(0.99));
+}
+
+TEST(Service, DeterministicAcrossJobsValues) {
+  // The acceptance pin: jobs=1 and jobs=4 must produce byte-identical
+  // artifacts and equal digests for every arrival model.
+  for (ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kBursty, ArrivalKind::kPareto}) {
+    ServiceConfig config = small_config();
+    switch (kind) {
+      case ArrivalKind::kPoisson:
+        config.arrivals = ArrivalSpec::poisson(20.0);
+        break;
+      case ArrivalKind::kBursty:
+        config.arrivals = ArrivalSpec::bursty(20.0);
+        break;
+      case ArrivalKind::kPareto:
+        config.arrivals = ArrivalSpec::pareto(20.0);
+        break;
+    }
+    config.cap = 16;  // force queueing so admission order is exercised
+    config.queue_cap = 8;
+    config.jobs = 1;
+    const ServiceResult lone = run_service(config);
+    config.jobs = 4;
+    const ServiceResult fleet = run_service(config);
+    EXPECT_EQ(lone.digest(), fleet.digest()) << to_string(kind);
+    EXPECT_EQ(lone.artifact(), fleet.artifact()) << to_string(kind);
+    EXPECT_EQ(lone.completed, fleet.completed) << to_string(kind);
+    EXPECT_EQ(lone.shed, fleet.shed) << to_string(kind);
+    EXPECT_EQ(lone.peak_active, fleet.peak_active) << to_string(kind);
+  }
+}
+
+TEST(Service, RepeatedRunsOfOneServiceAreIdentical) {
+  AgreementService svc(small_config());
+  const ServiceResult first = svc.run();
+  const ServiceResult second = svc.run();
+  EXPECT_EQ(first.digest(), second.digest());
+  EXPECT_EQ(first.artifact(), second.artifact());
+}
+
+TEST(Service, SlotRecyclingIsAllocationFreeAfterWarmup) {
+  // Churn >= 10k instances through a small pool: after the first run has
+  // warmed every shape's free list, further admissions must not construct
+  // a single new slot — `slots_created` freezes while `slot_reuse` grows
+  // by at least the offered load. (An IC job counts config.n instances,
+  // so 10k offered jobs exceed 10k instances.)
+  ServiceConfig config = small_config();
+  config.offered = 10000;
+  config.cap = 24;
+  config.policy = OverloadPolicy::kBlock;
+  AgreementService svc(config);
+  (void)svc.run();  // warm-up: constructs the steady-state pool
+  const std::uint64_t warm_slots = svc.slots_created();
+  const std::uint64_t warm_reuses = svc.slot_reuses();
+  const std::uint64_t warm_counter = registry_counter("service.slots_created");
+  EXPECT_GT(warm_slots, 0u);
+  // Free lists are per shape, so the pool can hold up to `cap` slots for
+  // each of the default mix's 7 shapes (3 BYZ + 4 IC coordinates) — still
+  // a constant, vanishing next to the 10k-job churn.
+  EXPECT_LE(warm_slots, static_cast<std::uint64_t>(config.cap) * 7);
+
+  const ServiceResult churn = svc.run();
+  EXPECT_EQ(churn.completed, config.offered);
+  EXPECT_EQ(svc.slots_created(), warm_slots)
+      << "steady-state admission constructed a slot";
+  EXPECT_EQ(registry_counter("service.slots_created"), warm_counter);
+  EXPECT_GE(svc.slot_reuses() - warm_reuses, config.offered);
+  EXPECT_GE(registry_counter("service.slot_reuse"), svc.slot_reuses());
+}
+
+TEST(Service, ShedOldestBoundsTheQueue) {
+  ServiceConfig config = small_config();
+  config.arrivals = ArrivalSpec::poisson(50.0);  // ~6x what cap=8 drains
+  config.offered = 400;
+  config.cap = 8;
+  config.queue_cap = 16;
+  config.policy = OverloadPolicy::kShedOldest;
+  const ServiceResult result = run_service(config);
+  EXPECT_GT(result.shed, 0u);
+  EXPECT_EQ(result.completed + result.shed, config.offered);
+  std::uint64_t shed_seen = 0;
+  for (const JobRecord& rec : result.records) {
+    if (rec.shed) {
+      ++shed_seen;
+      EXPECT_LT(rec.admitted, 0.0);
+      EXPECT_LT(rec.completed, 0.0);
+    } else {
+      EXPECT_GE(rec.completed, 0.0) << "job " << rec.id;
+      // The bounded queue caps how long any admitted job waited.
+      EXPECT_LE(rec.queue_wait(), result.makespan);
+    }
+  }
+  EXPECT_EQ(shed_seen, result.shed);
+}
+
+TEST(Service, BlockPolicyTradesLatencyForCompleteness) {
+  ServiceConfig config = small_config();
+  config.arrivals = ArrivalSpec::poisson(50.0);
+  config.offered = 400;
+  config.cap = 8;
+  config.policy = OverloadPolicy::kBlock;
+  const ServiceResult result = run_service(config);
+  EXPECT_EQ(result.completed, config.offered);
+  EXPECT_EQ(result.shed, 0u);
+  bool queued = false;
+  for (const JobRecord& rec : result.records) {
+    if (rec.queue_wait() > 0.0) queued = true;
+  }
+  EXPECT_TRUE(queued) << "overload never queued anything";
+}
+
+TEST(Service, IcJobOccupiesItsWidthInSlots) {
+  ServiceConfig config;
+  config.arrivals = ArrivalSpec::poisson(0.05);  // sparse: one at a time
+  config.offered = 5;
+  config.cap = 4;
+  config.seed = 3;
+  config.mix.push_back({JobKind::kIc, Config{.n = 4, .m = 1, .u = 1}, 0,
+                        Value::of(17), {3}});
+  const ServiceResult result = run_service(config);
+  EXPECT_EQ(result.completed, config.offered);
+  EXPECT_EQ(result.violations, 0u);
+  // Each IC job holds all n = 4 coordinate slots while active.
+  EXPECT_EQ(result.peak_active, 4);
+  for (const JobRecord& rec : result.records) {
+    EXPECT_TRUE(rec.satisfied);
+    EXPECT_NE(rec.applied, Condition::kNone);
+  }
+}
+
+TEST(Service, DefaultMixShapesAreFeasible) {
+  for (const JobTemplate& tmpl : default_mix()) {
+    EXPECT_TRUE(tmpl.config.valid()) << tmpl.to_string();
+    EXPECT_FALSE(tmpl.to_string().empty());
+    EXPECT_LE(static_cast<int>(tmpl.faulty.size()), tmpl.config.m + tmpl.config.u)
+        << tmpl.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace da::service

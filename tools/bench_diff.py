@@ -10,7 +10,9 @@ docs/OBSERVABILITY.md). The comparison walks the rows of the captured
 ``benchmarks`` table (one row per google-benchmark run, keyed by the
 benchmark's full name, e.g. ``BM_BehaviorSearch/5/1``) and reports every
 row whose ``real_ms`` grew by more than ``--threshold`` percent (default
-15). Rows present in only one report are listed but never fail the run.
+15). Rows present only in the baseline are reported as ``REMOVED`` —
+coverage that silently disappeared deserves a visible diff line — and
+rows present only in the candidate as ``ADDED``; neither fails the run.
 
 Exit status: 0 when no row regressed past the threshold (including when
 either report carries no benchmarks table at all — old baselines), 1 when
@@ -90,10 +92,20 @@ def main() -> int:
             flag = "  << REGRESSION"
         print(f"{name:<40} {base:>14.3f} {cand:>14.3f} {delta_pct:>+8.1f}%{flag}")
 
-    for name in sorted(set(baseline) - set(candidate)):
-        print(f"{name:<40} (only in baseline)")
-    for name in sorted(set(candidate) - set(baseline)):
-        print(f"{name:<40} (only in candidate)")
+    removed = sorted(set(baseline) - set(candidate))
+    added = sorted(set(candidate) - set(baseline))
+    for name in removed:
+        print(
+            f"{name:<40} {baseline[name]:>14.3f} {'--':>14} {'':>9}"
+            "  << REMOVED (advisory: benchmark row gone from candidate)"
+        )
+    for name in added:
+        print(f"{name:<40} {'--':>14} {candidate[name]:>14.3f} {'':>9}  ADDED")
+    if removed:
+        print(
+            f"\nnote: {len(removed)} benchmark row(s) present in the baseline "
+            "were not produced by the candidate (advisory, not a failure)"
+        )
 
     if regressions:
         print(

@@ -22,18 +22,25 @@
 #   7. with --plan-check BIN (the built examples/inject_replay.cpp), the
 #      ```plan fence in docs/INJECTION.md is fed to the real FaultPlan
 #      parser via `BIN --check-plan`, so the documented example plan
-#      cannot drift from the grammar the parser accepts.
+#      cannot drift from the grammar the parser accepts;
+#   8. with --service-demo BIN (the built examples/service_demo.cpp),
+#      every non-comment line of the ```demo fence in docs/SERVICE.md is
+#      run as arguments to BIN, so the documented walkthrough commands
+#      cannot drift from the flags the demo accepts.
 #
-# Usage: docs_check.sh [--bench-json FILE] [--plan-check BIN] [repo-root]
+# Usage: docs_check.sh [--bench-json FILE] [--plan-check BIN]
+#                      [--service-demo BIN] [repo-root]
 #        (repo-root defaults to the script's parent dir)
 
 set -u
 bench_json=
 plan_check=
+service_demo=
 while :; do
   case ${1:-} in
     --bench-json) bench_json=$2; shift 2 ;;
     --plan-check) plan_check=$2; shift 2 ;;
+    --service-demo) service_demo=$2; shift 2 ;;
     *) break ;;
   esac
 done
@@ -146,6 +153,40 @@ if [ -n "$plan_check" ]; then
            > /dev/null 2> "$tmpdir/plan_err"; then
       cat "$tmpdir/plan_err" >&2
       fail "docs/INJECTION.md example plan rejected by the parser"
+    fi
+  fi
+fi
+
+# 8. Every command line in the SERVICE.md walkthrough fence must run
+#    cleanly against the real demo binary. Lines are the demo's argument
+#    lists (the leading "service_demo" word is optional); '#' comments and
+#    blank lines are skipped.
+if [ -n "$service_demo" ]; then
+  if [ ! -x "$service_demo" ]; then
+    fail "--service-demo: $service_demo is not executable"
+  elif [ ! -e docs/SERVICE.md ]; then
+    fail "--service-demo given but docs/SERVICE.md is missing"
+  else
+    awk '/^```demo$/{grab=1; next} /^```$/{grab=0} grab' docs/SERVICE.md \
+      > "$tmpdir/demo"
+    if [ ! -s "$tmpdir/demo" ]; then
+      fail "no \`\`\`demo fence found in docs/SERVICE.md"
+    else
+      ran=0
+      while IFS= read -r line; do
+        case $line in
+          '#'* | '') continue ;;
+        esac
+        args=${line#service_demo}
+        # shellcheck disable=SC2086  # word splitting is the point
+        if ! "$service_demo" $args > /dev/null 2> "$tmpdir/demo_err"; then
+          cat "$tmpdir/demo_err" >&2
+          fail "docs/SERVICE.md demo line failed: $line"
+        fi
+        ran=$((ran + 1))
+      done < "$tmpdir/demo"
+      [ "$ran" -gt 0 ] || \
+        fail "docs/SERVICE.md demo fence contains no runnable lines"
     fi
   fi
 fi
