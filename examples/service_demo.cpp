@@ -13,6 +13,12 @@
 //     --seed S                        arrival/mix seed    (1)
 //     --jobs J                        worker threads, 0 = all cores (1)
 //     --artifact                      dump the per-job artifact lines
+//     --spans-out FILE                record causal spans, write JSONL
+//     --metrics-out FILE              write Prometheus-style exposition
+//     --sample-every P                periodic samples every P time units
+//     --inject "SPEC"                 fault plan, ';'-separated plan lines
+//                                     (e.g. "seed 9;drop from=2 to=1")
+//     --inject-every K                inject every K-th job (1)
 //
 // Prints a one-screen summary (throughput, latency quantiles, shed count,
 // determinism digest). Exit status is 0 iff every completed job satisfied
@@ -24,6 +30,9 @@
 #include <cstring>
 #include <string>
 
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "service/service.hpp"
 
 namespace {
@@ -34,7 +43,8 @@ namespace {
                "usage: service_demo [--model poisson|bursty|pareto] "
                "[--rate R] [--offered N] [--cap C] [--queue Q] "
                "[--policy shed|block] [--period P] [--seed S] [--jobs J] "
-               "[--artifact]\n");
+               "[--artifact] [--spans-out FILE] [--metrics-out FILE] "
+               "[--sample-every P] [--inject SPEC] [--inject-every K]\n");
   std::exit(2);
 }
 
@@ -54,6 +64,8 @@ int main(int argc, char** argv) {
   ArrivalKind kind = ArrivalKind::kPoisson;
   double rate = 8.0;
   bool dump_artifact = false;
+  const char* spans_out = nullptr;
+  const char* metrics_out = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     const char* flag = argv[i];
@@ -95,6 +107,31 @@ int main(int argc, char** argv) {
       config.jobs = std::atoi(next());
     } else if (std::strcmp(flag, "--artifact") == 0) {
       dump_artifact = true;
+    } else if (std::strcmp(flag, "--spans-out") == 0) {
+      spans_out = next();
+      config.record_spans = true;
+    } else if (std::strcmp(flag, "--metrics-out") == 0) {
+      metrics_out = next();
+    } else if (std::strcmp(flag, "--sample-every") == 0) {
+      config.sample_every =
+          parse_positive("--sample-every expects a positive number", next());
+    } else if (std::strcmp(flag, "--inject") == 0) {
+      // Plan lines separated by ';' (the multi-line text form of
+      // docs/INJECTION.md, flattened for the shell).
+      std::string text = next();
+      for (char& c : text) {
+        if (c == ';') c = '\n';
+      }
+      std::string error;
+      const auto plan = da::inject::FaultPlan::parse(text, &error);
+      if (!plan.has_value()) {
+        std::fprintf(stderr, "service_demo: --inject: %s\n", error.c_str());
+        return 2;
+      }
+      config.fault_plan = *plan;
+    } else if (std::strcmp(flag, "--inject-every") == 0) {
+      config.inject_every = static_cast<std::uint64_t>(
+          parse_positive("--inject-every expects a positive count", next()));
     } else {
       usage(flag);
     }
@@ -140,6 +177,26 @@ int main(int argc, char** argv) {
   std::printf("digest     %016llx\n",
               static_cast<unsigned long long>(result.digest()));
   if (dump_artifact) std::fputs(result.artifact().c_str(), stdout);
+
+  if (spans_out != nullptr) {
+    if (!da::obs::write_spans_jsonl(result.spans, spans_out)) {
+      std::fprintf(stderr, "service_demo: cannot write %s\n", spans_out);
+      return 1;
+    }
+    std::printf("spans      %zu -> %s\n", result.spans.size(), spans_out);
+  }
+  if (metrics_out != nullptr) {
+    if (!da::obs::write_exposition(
+            da::obs::MetricsRegistry::global().snapshot(), metrics_out)) {
+      std::fprintf(stderr, "service_demo: cannot write %s\n", metrics_out);
+      return 1;
+    }
+    std::printf("metrics    -> %s\n", metrics_out);
+  }
+  if (config.sample_every > 0.0) {
+    std::printf("samples    %zu (every %g time units)\n",
+                result.samples.size(), config.sample_every);
+  }
 
   return result.violations == 0 ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
@@ -126,6 +127,7 @@ EventRunResult EventRunner::run() {
       msg.round = round;
       ++result.base.messages_sent;
       sent.add();
+      if (options_.spans != nullptr) options_.spans->note_send(round, 1);
       for (const sim::Message& delivered :
            sim::filter_fanout(msg, options_, faulty, fabricated)) {
         if (index.at(delivered.to) == sim::NodeIndex::npos) {
@@ -190,6 +192,7 @@ EventRunResult EventRunner::run() {
         }
         ++result.base.messages_delivered;
         delivered_count.add();
+        if (options_.spans != nullptr) options_.spans->note_deliver(r, 1);
         if (options_.trace != nullptr) options_.trace->record(event.msg);
         inbox[to][static_cast<std::size_t>(r)].push_back(event.msg);
         break;
@@ -201,6 +204,9 @@ EventRunResult EventRunner::run() {
         std::vector<sim::Message> box;
         box.swap(inbox[event.node_index][r]);
         sim::sort_inbox(box);
+        if (options_.spans != nullptr) {
+          options_.spans->note_resolve(event.round, 1);
+        }
         std::vector<sim::Message> next = proc.on_round(event.round, box);
         if (event.round + 1 < rounds) {
           pending_outbox[event.node_index] = std::move(next);
@@ -213,6 +219,7 @@ EventRunResult EventRunner::run() {
     }
   }
 
+  if (options_.spans != nullptr) options_.spans->note_done(rounds);
   for (const auto& p : processes_) {
     result.base.decisions[p->id()] = p->decide();
   }

@@ -36,11 +36,18 @@ obs::Json InjectionStats::to_json() const {
       .set("duplicated", static_cast<std::int64_t>(duplicated))
       .set("delayed", static_cast<std::int64_t>(delayed))
       .set("crash_dropped", static_cast<std::int64_t>(crash_dropped));
+  obs::Json hits = obs::Json::array();
+  for (std::uint64_t h : rule_hits) {
+    hits.push_back(obs::Json(static_cast<std::int64_t>(h)));
+  }
+  j.set("rule_hits", std::move(hits));
   return j;
 }
 
 InjectionNetwork::InjectionNetwork(FaultPlan plan, sim::NetworkModel* inner)
-    : plan_(std::move(plan)), inner_(inner) {}
+    : plan_(std::move(plan)), inner_(inner) {
+  stats_.rule_hits.assign(plan_.rules.size(), 0);
+}
 
 InjectionNetwork::Decision InjectionNetwork::decide(
     const sim::Message& msg) const {
@@ -51,8 +58,10 @@ InjectionNetwork::Decision InjectionNetwork::decide(
     return d;
   }
   // First matching scripted rule wins.
-  for (const LinkRule& rule : plan_.rules) {
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const LinkRule& rule = plan_.rules[i];
     if (!rule.matches(msg)) continue;
+    d.rule = static_cast<int>(i);
     switch (rule.kind) {
       case FaultKind::kDrop: d.drop = true; return d;
       case FaultKind::kDuplicate: d.copies = rule.copies; return d;
@@ -102,6 +111,10 @@ std::vector<sim::Message> InjectionNetwork::transit_fanout(
   ++stats_.examined;
   examined.add();
   const Decision d = decide(msg);
+  if (d.rule >= 0 &&
+      static_cast<std::size_t>(d.rule) < stats_.rule_hits.size()) {
+    ++stats_.rule_hits[static_cast<std::size_t>(d.rule)];
+  }
   if (d.crash) {
     ++stats_.crash_dropped;
     crash_dropped.add();

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "inject/fault_plan.hpp"
 #include "obs/json.hpp"
@@ -19,6 +20,10 @@ struct InjectionStats {
   std::uint64_t duplicated = 0;   // extra copies materialized
   std::uint64_t delayed = 0;      // deliveries held back within the window
   std::uint64_t crash_dropped = 0;  // suppressed by a crash window
+  /// Per-rule match tallies, indexed like `FaultPlan::rules` — how often
+  /// each scripted rule was the one that decided a message's fate. Span
+  /// consumers use this to attribute observed delay/loss to a plan rule.
+  std::vector<std::uint64_t> rule_hits{};
 
   [[nodiscard]] obs::Json to_json() const;
 
@@ -52,6 +57,17 @@ class InjectionNetwork final : public sim::NetworkModel {
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] const InjectionStats& stats() const { return stats_; }
 
+  /// Re-seed the plan's decision hashes (e.g. per service instance) without
+  /// rebuilding the rule table.
+  void reseed(std::uint64_t seed) { plan_.seed = seed; }
+
+  /// Zero the stats, keeping the per-rule tally sized to the plan. Lets a
+  /// recycled service slot reuse one network across instances.
+  void reset_stats() {
+    stats_ = InjectionStats{};
+    stats_.rule_hits.assign(plan_.rules.size(), 0);
+  }
+
  private:
   /// The plan's verdict for one message, before the inner network runs.
   struct Decision {
@@ -60,6 +76,7 @@ class InjectionNetwork final : public sim::NetworkModel {
     bool drop = false;
     int copies = 1;
     double delay_frac = 0.0;  // 0 = on time
+    int rule = -1;  // index of the scripted rule that decided, -1 if none
   };
   [[nodiscard]] Decision decide(const sim::Message& msg) const;
 

@@ -53,10 +53,24 @@ Json metrics_to_json() {
         .set("buckets", std::move(buckets));
     histograms.set(name, std::move(h));
   }
+  Json quantiles = Json::object();
+  for (const auto& [name, sketch] : snap.quantiles) {
+    Json q = Json::object();
+    q.set("count", static_cast<std::int64_t>(sketch.count()))
+        .set("min", sketch.min())
+        .set("max", sketch.max())
+        .set("mean", sketch.mean())
+        .set("p50", sketch.quantile(0.50))
+        .set("p90", sketch.quantile(0.90))
+        .set("p99", sketch.quantile(0.99))
+        .set("p999", sketch.quantile(0.999));
+    quantiles.set(name, std::move(q));
+  }
   Json metrics = Json::object();
   metrics.set("counters", std::move(counters))
       .set("gauges", std::move(gauges))
-      .set("histograms", std::move(histograms));
+      .set("histograms", std::move(histograms))
+      .set("quantiles", std::move(quantiles));
   return metrics;
 }
 
@@ -202,7 +216,7 @@ bool validate_bench_schema(const Json& report, std::string* error) {
   if (metrics == nullptr || !metrics->is_object()) {
     return fail("missing object field 'metrics'");
   }
-  for (const char* section : {"counters", "gauges", "histograms"}) {
+  for (const char* section : {"counters", "gauges", "histograms", "quantiles"}) {
     const Json* s = metrics->find(section);
     if (s == nullptr || !s->is_object()) {
       return fail(std::string("metrics missing object '") + section + "'");
@@ -223,6 +237,19 @@ bool validate_bench_schema(const Json& report, std::string* error) {
     const Json* buckets = hist.find("buckets");
     if (buckets == nullptr || !buckets->is_array()) {
       return fail("histogram '" + name + "' missing array 'buckets'");
+    }
+  }
+  const Json* quantiles = metrics->find("quantiles");
+  for (const auto& [name, q] : quantiles->as_object()) {
+    if (!q.is_object()) {
+      return fail("quantile '" + name + "' is not an object");
+    }
+    for (const char* field :
+         {"count", "min", "max", "mean", "p50", "p90", "p99", "p999"}) {
+      const Json* f = q.find(field);
+      if (f == nullptr || !f->is_number()) {
+        return fail("quantile '" + name + "' missing number '" + field + "'");
+      }
     }
   }
   return true;

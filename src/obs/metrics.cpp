@@ -45,6 +45,7 @@ struct HistAccum {
 struct TlsSink {
   std::vector<std::uint64_t> counters;
   std::vector<HistAccum> histograms;
+  std::vector<QuantileSketch> quantiles;
 };
 
 TlsSink& tls_sink() {
@@ -64,6 +65,9 @@ struct Store {
   std::unordered_map<std::string, std::uint32_t> histogram_ids;
   std::vector<std::string> histogram_names;
   std::vector<HistAccum> histogram_cells;
+  std::unordered_map<std::string, std::uint32_t> quantile_ids;
+  std::vector<std::string> quantile_names;
+  std::vector<QuantileSketch> quantile_cells;
   std::map<std::string, double> gauges;
 };
 
@@ -103,6 +107,18 @@ std::uint32_t MetricsRegistry::intern_histogram(std::string_view name) {
   return id;
 }
 
+std::uint32_t MetricsRegistry::intern_quantile(std::string_view name) {
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.quantile_ids.find(std::string(name));
+  if (it != s.quantile_ids.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(s.quantile_names.size());
+  s.quantile_names.emplace_back(name);
+  s.quantile_cells.emplace_back();
+  s.quantile_ids.emplace(std::string(name), id);
+  return id;
+}
+
 void MetricsRegistry::set_gauge(std::string_view name, double value) {
 #ifndef DA_METRICS_DISABLED
   Store& s = store();
@@ -130,6 +146,12 @@ void MetricsRegistry::flush_this_thread() {
       break;
     }
   }
+  for (const QuantileSketch& q : sink.quantiles) {
+    if (!q.empty()) {
+      any_hist = true;
+      break;
+    }
+  }
   if (!any_hist) return;
   const std::lock_guard<std::mutex> lock(s.mu);
   for (std::size_t i = 0; i < sink.histograms.size(); ++i) {
@@ -143,6 +165,15 @@ void MetricsRegistry::flush_this_thread() {
     for (std::size_t b = 0; b < local.buckets.size(); ++b) {
       cell.buckets[b] += local.buckets[b];
     }
+    local.clear();
+  }
+  // Sketch merging is exact (integer buckets, bit-exact min/max), so the
+  // shared cell's canonical state is independent of which thread flushes
+  // first — the property the cross-jobs byte-identity tests rely on.
+  for (std::size_t i = 0; i < sink.quantiles.size(); ++i) {
+    QuantileSketch& local = sink.quantiles[i];
+    if (local.empty()) continue;
+    s.quantile_cells[i].merge(local);
     local.clear();
   }
 }
@@ -167,6 +198,9 @@ MetricsSnapshot MetricsRegistry::snapshot() {
     hs.max = cell.count == 0 ? 0.0 : cell.max;
     hs.buckets = cell.buckets;
     out.histograms[s.histogram_names[i]] = hs;
+  }
+  for (std::size_t i = 0; i < s.quantile_names.size(); ++i) {
+    out.quantiles[s.quantile_names[i]] = s.quantile_cells[i];
   }
 #endif
   return out;
@@ -195,6 +229,7 @@ void MetricsRegistry::reset() {
     cell.store(0, std::memory_order_relaxed);
   }
   for (HistAccum& cell : s.histogram_cells) cell.clear();
+  for (QuantileSketch& cell : s.quantile_cells) cell.clear();
   s.gauges.clear();
 #endif
 }
@@ -211,6 +246,12 @@ void tls_histogram_record(std::uint32_t id, double value) {
   TlsSink& sink = tls_sink();
   if (sink.histograms.size() <= id) sink.histograms.resize(id + 1);
   sink.histograms[id].record(value);
+}
+
+void tls_quantile_record(std::uint32_t id, double value) {
+  TlsSink& sink = tls_sink();
+  if (sink.quantiles.size() <= id) sink.quantiles.resize(id + 1);
+  sink.quantiles[id].record(value);
 }
 
 }  // namespace detail

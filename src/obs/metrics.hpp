@@ -7,6 +7,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/quantiles.hpp"
+
 namespace da::obs {
 
 /// Protocol cost accounting for the whole repository: a process-wide
@@ -23,9 +25,9 @@ namespace da::obs {
 /// worker accumulates locally and pays one merge per protocol execution.
 ///
 /// Compile-time kill switch: building with -DDA_METRICS_DISABLED (CMake:
-/// -DDA_METRICS=OFF) turns every Counter/Histogram/Timer operation into
-/// an inline no-op so the cost of the instrumentation itself can be
-/// measured (the registry stays linkable but stays empty).
+/// -DDA_METRICS=OFF) turns every Counter/Histogram/Quantile/Timer
+/// operation into an inline no-op so the cost of the instrumentation
+/// itself can be measured (the registry stays linkable but stays empty).
 
 /// Aggregate of one histogram: count/sum/min/max plus coarse log2 buckets
 /// (bucket i counts samples in [2^(i-7), 2^(i-6)), clamped at the ends —
@@ -45,16 +47,20 @@ struct HistogramSnapshot {
   [[nodiscard]] static std::size_t bucket_of(double value);
 };
 
-/// Point-in-time copy of every registered metric.
+/// Point-in-time copy of every registered metric. Quantile metrics carry
+/// their full `QuantileSketch`, so a snapshot can answer any percentile
+/// (the bench JSON export surfaces p50/p90/p99/p999).
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, QuantileSketch> quantiles;
 };
 
 namespace detail {
 void tls_counter_add(std::uint32_t id, std::uint64_t delta);
 void tls_histogram_record(std::uint32_t id, double value);
+void tls_quantile_record(std::uint32_t id, double value);
 }  // namespace detail
 
 /// The process-wide metric store. Use `MetricsRegistry::global()`;
@@ -68,6 +74,7 @@ class MetricsRegistry {
   /// lifetime, including across reset()).
   [[nodiscard]] std::uint32_t intern_counter(std::string_view name);
   [[nodiscard]] std::uint32_t intern_histogram(std::string_view name);
+  [[nodiscard]] std::uint32_t intern_quantile(std::string_view name);
 
   /// Gauges are last-write-wins and written directly (no TLS staging):
   /// they are set rarely (per sweep / per bench), never per message.
@@ -104,6 +111,28 @@ class Counter {
 #else
   explicit Counter(std::string_view) {}
   void add(std::uint64_t = 1) const {}
+#endif
+
+ private:
+#ifndef DA_METRICS_DISABLED
+  std::uint32_t id_;
+#endif
+};
+
+/// A named quantile metric: double samples stream into a thread-local
+/// `QuantileSketch` and fold into the shared one at `MetricsScope` exit.
+/// Because sketch merging is exact (see obs/quantiles.hpp), the merged
+/// sketch is identical for any worker count and flush order — unlike the
+/// coarse `Histogram`, this is safe to pin byte-for-byte in tests.
+class Quantile {
+ public:
+#ifndef DA_METRICS_DISABLED
+  explicit Quantile(std::string_view name)
+      : id_(MetricsRegistry::global().intern_quantile(name)) {}
+  void record(double value) const { detail::tls_quantile_record(id_, value); }
+#else
+  explicit Quantile(std::string_view) {}
+  void record(double) const {}
 #endif
 
  private:

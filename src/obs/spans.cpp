@@ -1,0 +1,255 @@
+#include "obs/spans.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace da::obs {
+
+namespace {
+
+/// Lifecycle order for spans sharing a start instant: parents sort before
+/// the children they caused, phases in causal order.
+int name_rank(const std::string& name) {
+  if (name == "job") return 0;
+  if (name == "queue") return 1;
+  if (name == "inst") return 2;
+  if (name == "send") return 3;
+  if (name == "deliver") return 4;
+  if (name == "resolve") return 5;
+  if (name == "round") return 6;
+  if (name == "decide") return 7;
+  if (name == "recycle") return 8;
+  return 9;
+}
+
+}  // namespace
+
+std::string Span::id() const {
+  std::string out = name;
+  if (job >= 0) {
+    out += ':';
+    out += std::to_string(job);
+  }
+  if (sub >= 0) {
+    out += '.';
+    out += std::to_string(sub);
+  }
+  if (round >= 0) {
+    out += '#';
+    out += std::to_string(round);
+  }
+  return out;
+}
+
+Json Span::to_json() const {
+  Json tags_json = Json::object();
+  for (const auto& [key, value] : tags) tags_json.set(key, value);
+  Json j = Json::object();
+  j.set("id", id())
+      .set("name", name)
+      .set("job", job)
+      .set("sub", sub)
+      .set("round", round)
+      .set("t0", t0)
+      .set("t1", t1)
+      .set("parent", parent)
+      .set("tags", std::move(tags_json));
+  return j;
+}
+
+std::optional<Span> Span::from_json(const Json& j) {
+  if (!j.is_object()) return std::nullopt;
+  Span s;
+  const Json* name = j.find("name");
+  if (name == nullptr || !name->is_string()) return std::nullopt;
+  s.name = name->as_string();
+  const Json* job = j.find("job");
+  if (job == nullptr || !job->is_integer()) return std::nullopt;
+  s.job = job->as_int();
+  const Json* sub = j.find("sub");
+  if (sub == nullptr || !sub->is_integer()) return std::nullopt;
+  s.sub = static_cast<int>(sub->as_int());
+  const Json* round = j.find("round");
+  if (round == nullptr || !round->is_integer()) return std::nullopt;
+  s.round = static_cast<int>(round->as_int());
+  const Json* t0 = j.find("t0");
+  if (t0 == nullptr || !t0->is_number()) return std::nullopt;
+  s.t0 = t0->as_double();
+  const Json* t1 = j.find("t1");
+  if (t1 == nullptr || !t1->is_number()) return std::nullopt;
+  s.t1 = t1->as_double();
+  const Json* parent = j.find("parent");
+  if (parent == nullptr || !parent->is_string()) return std::nullopt;
+  s.parent = parent->as_string();
+  const Json* tags = j.find("tags");
+  if (tags == nullptr || !tags->is_object()) return std::nullopt;
+  for (const auto& [key, value] : tags->as_object()) {
+    if (!value.is_integer()) return std::nullopt;
+    s.tags.emplace_back(key, value.as_int());
+  }
+  // The emitted "id" field is derived; recomputing keeps parsed spans
+  // comparable with freshly built ones, but a mismatch means a hand-edited
+  // file — reject it rather than silently re-derive.
+  const Json* id = j.find("id");
+  if (id == nullptr || !id->is_string() || id->as_string() != s.id()) {
+    return std::nullopt;
+  }
+  return s;
+}
+
+void canonicalize(std::vector<Span>& spans) {
+  for (Span& s : spans) {
+    std::sort(s.tags.begin(), s.tags.end());
+  }
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    if (a.t0 != b.t0) return a.t0 < b.t0;
+    if (a.job != b.job) return a.job < b.job;
+    if (a.sub != b.sub) return a.sub < b.sub;
+    const int ra = name_rank(a.name);
+    const int rb = name_rank(b.name);
+    if (ra != rb) return ra < rb;
+    if (a.round != b.round) return a.round < b.round;
+    return a.name < b.name;
+  });
+}
+
+std::string spans_to_jsonl(std::vector<Span> spans) {
+  canonicalize(spans);
+  std::string out;
+  out.reserve(spans.size() * 128);
+  for (const Span& s : spans) {
+    out += s.to_json().dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<std::vector<Span>> read_spans_jsonl(const std::string& text,
+                                                  std::string* error) {
+  std::vector<Span> spans;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    ++line_no;
+    const std::string_view line(text.data() + start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    std::string parse_error;
+    const std::optional<Json> j = Json::parse(line, &parse_error);
+    if (!j) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + parse_error;
+      }
+      return std::nullopt;
+    }
+    std::optional<Span> s = Span::from_json(*j);
+    if (!s) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": not a span record";
+      }
+      return std::nullopt;
+    }
+    spans.push_back(std::move(*s));
+  }
+  return spans;
+}
+
+bool write_spans_jsonl(const std::vector<Span>& spans,
+                       const std::string& file_path) {
+  std::ofstream out(file_path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << spans_to_jsonl(spans);
+  return static_cast<bool>(out);
+}
+
+#ifndef DA_METRICS_DISABLED
+
+void SpanSink::ensure(int round) {
+  const auto need = static_cast<std::size_t>(round) + 1;
+  if (sends_.size() < need) {
+    sends_.resize(need, 0);
+    delivers_.resize(need, 0);
+    resolves_.resize(need, 0);
+  }
+}
+
+void SpanSink::note_send(int round, std::uint64_t n) {
+  ensure(round);
+  sends_[static_cast<std::size_t>(round)] += n;
+}
+
+void SpanSink::note_deliver(int round, std::uint64_t n) {
+  ensure(round);
+  delivers_[static_cast<std::size_t>(round)] += n;
+}
+
+void SpanSink::note_resolve(int round, std::uint64_t nodes) {
+  ensure(round);
+  resolves_[static_cast<std::size_t>(round)] += nodes;
+}
+
+void SpanSink::note_done(int total_rounds) { total_rounds_ = total_rounds; }
+
+void SpanSink::clear() {
+  sends_.clear();
+  delivers_.clear();
+  resolves_.clear();
+  total_rounds_ = -1;
+}
+
+std::vector<Span> SpanSink::round_spans() const {
+  // Phases of round r occupy [r, r+1) in round units: sends in the first
+  // quarter, deliveries in the second, resolution in the back half. The
+  // offsets are binary fractions, so the stamps are exact doubles.
+  std::vector<Span> out;
+  const std::size_t rounds = sends_.size();
+  out.reserve(rounds * 3 + 1);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto t = static_cast<double>(r);
+    Span send;
+    send.name = "send";
+    send.round = static_cast<int>(r);
+    send.t0 = t;
+    send.t1 = t + 0.25;
+    send.tags.emplace_back("messages",
+                           static_cast<std::int64_t>(sends_[r]));
+    out.push_back(std::move(send));
+    Span deliver;
+    deliver.name = "deliver";
+    deliver.round = static_cast<int>(r);
+    deliver.t0 = t + 0.25;
+    deliver.t1 = t + 0.5;
+    deliver.parent = out.back().id();
+    deliver.tags.emplace_back("messages",
+                              static_cast<std::int64_t>(delivers_[r]));
+    // Signed: negative means a duplicating network delivered extra copies.
+    deliver.tags.emplace_back("dropped",
+                              static_cast<std::int64_t>(sends_[r]) -
+                                  static_cast<std::int64_t>(delivers_[r]));
+    out.push_back(std::move(deliver));
+    Span resolve;
+    resolve.name = "resolve";
+    resolve.round = static_cast<int>(r);
+    resolve.t0 = t + 0.5;
+    resolve.t1 = t + 1.0;
+    resolve.parent = out.back().id();
+    resolve.tags.emplace_back("nodes",
+                              static_cast<std::int64_t>(resolves_[r]));
+    out.push_back(std::move(resolve));
+  }
+  if (total_rounds_ >= 0) {
+    Span decide;
+    decide.name = "decide";
+    decide.round = total_rounds_;
+    decide.t0 = static_cast<double>(total_rounds_);
+    decide.t1 = decide.t0;
+    out.push_back(std::move(decide));
+  }
+  return out;
+}
+
+#endif  // DA_METRICS_DISABLED
+
+}  // namespace da::obs

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace da::obs {
+
+/// Causal span tracing for the agreement service and the three runtimes,
+/// stamped in **virtual time** (service spans) or **round units** (runtime
+/// phase spans) — never wall clock — so a span export is a deterministic
+/// function of the execution and byte-identical across `--jobs` values
+/// and runtimes (docs/OBSERVABILITY.md "Spans").
+///
+/// The causal tree the service emits per job:
+///
+///   job <id>                       arrival -> completion (or shed)
+///   ├─ queue <id>                  arrival -> admission
+///   └─ inst <id>/<sub>             admission -> sub-instance decision
+///      ├─ round <id>/<sub>/<r>     previous tick -> this tick
+///      ├─ decide <id>/<sub>        the decision instant
+///      └─ recycle <id>/<sub>       slot returned to the pool
+///
+/// Runtime executions emit per-round *phase* spans instead (send /
+/// deliver / resolve, one triple per round, stamped in round units).
+///
+/// Tags are (string key, int64 value) pairs — template/adversary indices,
+/// message tallies, and fault-injection deltas (`inj_*`, `rule<k>`) that
+/// correlate a round span with the FaultPlan rule that perturbed it.
+struct Span {
+  std::string name;      // job|queue|inst|round|decide|recycle|send|deliver|resolve
+  std::int64_t job = -1;  // owning service job id; -1 for runtime spans
+  int sub = -1;           // sub-instance (IC coordinate); -1 when n/a
+  int round = -1;         // round index; -1 when n/a
+  double t0 = 0.0;        // virtual time (service) or round units (runtime)
+  double t1 = 0.0;
+  std::string parent;     // id() of the parent span; empty = root
+  std::vector<std::pair<std::string, std::int64_t>> tags;  // sorted by key
+
+  /// Deterministic span id derived from identity, never from a counter:
+  /// name[:job][.sub][#round], e.g. "round:12.0#3" or "send#2".
+  [[nodiscard]] std::string id() const;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static std::optional<Span> from_json(const Json& j);
+
+  friend bool operator==(const Span&, const Span&) = default;
+};
+
+/// Sorts spans into canonical export order — (t0, job, sub, lifecycle
+/// rank, round, name) — and each span's tags by key. Two span sets with
+/// equal contents canonicalize to identical sequences regardless of
+/// emission order.
+void canonicalize(std::vector<Span>& spans);
+
+/// Canonical JSONL: one compact JSON object per line, canonical order.
+[[nodiscard]] std::string spans_to_jsonl(std::vector<Span> spans);
+
+/// Parses a JSONL span export. Returns nullopt (and sets `error`, if
+/// non-null) on the first malformed line.
+[[nodiscard]] std::optional<std::vector<Span>> read_spans_jsonl(
+    const std::string& text, std::string* error = nullptr);
+
+/// Writes the JSONL export to `file_path`. Returns false on I/O failure.
+bool write_spans_jsonl(const std::vector<Span>& spans,
+                       const std::string& file_path);
+
+/// Per-round phase tallies for one runtime execution. The runtimes call
+/// the `note_*` hooks from their dispatch/arrival/round loops (the sim
+/// and event runtimes single-threaded, the threaded runtime under its
+/// shared mutex — callers serialize, the sink does not lock); after the
+/// run, `round_spans()` renders one send/deliver/resolve triple per round
+/// plus a final decide span. Counts derive from the same per-message
+/// events as the `*.messages_sent` / `*.messages_delivered` counters, so
+/// runtimes that agree on those (the differential contract) export
+/// byte-identical phase spans.
+///
+/// Under DA_METRICS_DISABLED every hook is an inline no-op and
+/// `round_spans()` is empty.
+class SpanSink {
+ public:
+#ifndef DA_METRICS_DISABLED
+  void note_send(int round, std::uint64_t n);
+  void note_deliver(int round, std::uint64_t n);
+  void note_resolve(int round, std::uint64_t nodes);
+  void note_done(int total_rounds);
+  void clear();
+  [[nodiscard]] std::vector<Span> round_spans() const;
+#else
+  void note_send(int, std::uint64_t) {}
+  void note_deliver(int, std::uint64_t) {}
+  void note_resolve(int, std::uint64_t) {}
+  void note_done(int) {}
+  void clear() {}
+  [[nodiscard]] std::vector<Span> round_spans() const { return {}; }
+#endif
+
+ private:
+#ifndef DA_METRICS_DISABLED
+  void ensure(int round);
+
+  std::vector<std::uint64_t> sends_;
+  std::vector<std::uint64_t> delivers_;
+  std::vector<std::uint64_t> resolves_;
+  int total_rounds_ = -1;  // set by note_done
+#endif
+};
+
+}  // namespace da::obs

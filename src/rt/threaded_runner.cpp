@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "rt/mailbox.hpp"
 #include "util/contracts.hpp"
 
@@ -72,6 +73,10 @@ sim::RunResult ThreadedRunner::run() {
             options_.trace->record(delivered);
           }
         }
+        if (options_.spans != nullptr) {
+          options_.spans->note_send(round, 1);
+          options_.spans->note_deliver(round, copies.size());
+        }
       }
       sent.add();
       for (const sim::Message& delivered : copies) {
@@ -106,6 +111,10 @@ sim::RunResult ThreadedRunner::run() {
       for (int r = 0; r < rounds; ++r) {
         const std::vector<sim::Message> inbox = mailboxes[my_index]->drain(r);
         std::vector<sim::Message> outbox = proc.on_round(r, inbox);
+        if (options_.spans != nullptr) {
+          const std::lock_guard<std::mutex> lock(shared_mutex);
+          options_.spans->note_resolve(r, 1);
+        }
         if (r + 1 < rounds) {
           dispatch(std::move(outbox), self, r + 1, /*fabricated=*/false,
                    faulty);
@@ -142,6 +151,7 @@ sim::RunResult ThreadedRunner::run() {
   }  // join
 
   if (first_error) std::rethrow_exception(first_error);
+  if (options_.spans != nullptr) options_.spans->note_done(rounds);
 
   for (const auto& p : processes_) result.decisions[p->id()] = p->decide();
   return result;

@@ -10,6 +10,7 @@
 
 #include "core/byz.hpp"
 #include "faults/adversaries.hpp"
+#include "inject/injection_network.hpp"
 #include "obs/metrics.hpp"
 #include "protocols/lamport/om.hpp"
 #include "sweep/sweep.hpp"
@@ -55,17 +56,63 @@ const obs::Counter& rounds_driven_counter() {
   static const obs::Counter c("service.rounds_driven");
   return c;
 }
-const obs::Histogram& decision_latency_histogram() {
-  static const obs::Histogram h("service.decision_latency");
-  return h;
+// Latency-shaped metrics use quantile sketches (p50/p90/p99/p999 in the
+// registry snapshot) rather than the power-of-two histograms: virtual-time
+// latencies cluster within a few octaves, where 2.2%-relative-error
+// sketch buckets resolve what octave histograms blur.
+const obs::Quantile& decision_latency_quantile() {
+  static const obs::Quantile q("service.decision_latency");
+  return q;
 }
-const obs::Histogram& queue_wait_histogram() {
-  static const obs::Histogram h("service.queue_wait");
-  return h;
+const obs::Quantile& queue_wait_quantile() {
+  static const obs::Quantile q("service.queue_wait");
+  return q;
 }
 const obs::Histogram& tick_ms_histogram() {
   static const obs::Histogram h("service.tick_ms");
   return h;
+}
+
+#ifndef DA_METRICS_DISABLED
+constexpr bool kSpansEnabled = true;
+#else
+constexpr bool kSpansEnabled = false;
+#endif
+
+std::string job_span_id(std::uint64_t job) {
+  return "job:" + std::to_string(job);
+}
+
+std::string inst_span_id(std::uint64_t job, int sub) {
+  return "inst:" + std::to_string(job) + '.' + std::to_string(sub);
+}
+
+/// Appends nonzero injection tallies (`base == nullptr`: totals; else the
+/// delta since `base`) as `inj_*` / `rule<k>` span tags — the correlation
+/// handles span_inspect uses to attribute delay to a FaultPlan rule.
+void add_injection_tags(
+    std::vector<std::pair<std::string, std::int64_t>>& tags,
+    const inject::InjectionStats& cur, const inject::InjectionStats* base) {
+  const auto add = [&tags](const char* key, std::uint64_t c,
+                           std::uint64_t b) {
+    if (c > b) tags.emplace_back(key, static_cast<std::int64_t>(c - b));
+  };
+  add("inj_examined", cur.examined, base != nullptr ? base->examined : 0);
+  add("inj_dropped", cur.dropped, base != nullptr ? base->dropped : 0);
+  add("inj_duplicated", cur.duplicated,
+      base != nullptr ? base->duplicated : 0);
+  add("inj_delayed", cur.delayed, base != nullptr ? base->delayed : 0);
+  add("inj_crash_dropped", cur.crash_dropped,
+      base != nullptr ? base->crash_dropped : 0);
+  for (std::size_t k = 0; k < cur.rule_hits.size(); ++k) {
+    const std::uint64_t b =
+        base != nullptr && k < base->rule_hits.size() ? base->rule_hits[k]
+                                                      : 0;
+    if (cur.rule_hits[k] > b) {
+      tags.emplace_back("rule" + std::to_string(k),
+                        static_cast<std::int64_t>(cur.rule_hits[k] - b));
+    }
+  }
 }
 
 constexpr double kNever = std::numeric_limits<double>::infinity();
@@ -173,7 +220,17 @@ struct AgreementService::Shape {
 struct AgreementService::InstanceSlot {
   int shape_index = 0;
   std::uint64_t job_id = 0;
+  int sub = 0;  // coordinate index within the job (0 for kByz)
   sim::RoundEngine engine;
+  /// Per-slot fault transport, constructed lazily on the first injected
+  /// admission and re-seeded per job. One worker advances one slot per
+  /// tick, so its plain stats counters are race-free.
+  std::unique_ptr<inject::InjectionNetwork> net;
+  bool injected = false;
+  // Span bookkeeping (meaningful only while record_spans is on).
+  double admitted_at = 0.0;
+  double last_time = 0.0;               // previous tick boundary
+  inject::InjectionStats last_stats{};  // injection tallies at it
 
   InstanceSlot(int shape, const Shape& s)
       : shape_index(shape), engine(s.make(), s.options) {}
@@ -187,6 +244,10 @@ AgreementService::AgreementService(ServiceConfig config)
     : config_(std::move(config)) {
   DA_EXPECTS(config_.cap >= 1);
   DA_EXPECTS(config_.round_period > 0.0);
+  DA_EXPECTS(config_.inject_every >= 1);
+  DA_EXPECTS(config_.sample_every >= 0.0);
+  inject_enabled_ = config_.fault_plan.active();
+  recording_ = kSpansEnabled && config_.record_spans;
   mix_ = config_.mix.empty() ? default_mix() : config_.mix;
   // The stateless adversary family instances draw from; all derive their
   // behaviour from message identity alone, so one object serves any
@@ -276,23 +337,60 @@ bool AgreementService::try_admit(std::uint64_t job_id, double now) {
       template_shapes_[static_cast<std::size_t>(rec.template_index)];
   const int width = static_cast<int>(shape_ids.size());
   if (active_width_ + width > config_.cap) return false;
-  for (int shape_index : shape_ids) {
+  const bool inject = inject_enabled_ && job_injected(job_id);
+  for (int sub = 0; sub < width; ++sub) {
+    const int shape_index = shape_ids[static_cast<std::size_t>(sub)];
     InstanceSlot* slot = acquire_slot(shape_index);
     const Shape& shape = *shapes_[static_cast<std::size_t>(shape_index)];
     slot->job_id = job_id;
+    slot->sub = sub;
     slot->engine.restore(shape.start);
     slot->engine.set_adversary(
         shape.options.faulty.empty()
             ? nullptr
             : adversaries_[static_cast<std::size_t>(rec.adversary_index)]
                   .get());
+    // Fault transport: selected jobs route every dispatch through a
+    // per-slot injection network re-seeded per job. Sound for the same
+    // reason set_adversary is — the restore boundary precedes every
+    // dispatch of this instance.
+    if (inject) {
+      if (slot->net == nullptr) {
+        slot->net =
+            std::make_unique<inject::InjectionNetwork>(config_.fault_plan);
+      }
+      slot->net->reseed(mix64(config_.fault_plan.seed, mix64(job_id, 0x1f)));
+      slot->net->reset_stats();
+      slot->engine.set_network(slot->net.get());
+      slot->injected = true;
+    } else if (slot->injected) {
+      slot->engine.set_network(nullptr);
+      slot->injected = false;
+    }
+    if (recording_) {
+      slot->admitted_at = now;
+      slot->last_time = now;
+      slot->last_stats =
+          slot->injected ? slot->net->stats() : inject::InjectionStats{};
+    }
     active_.push_back(slot);
   }
   active_width_ += width;
   jobs_[job_id].remaining_subs = width;
   rec.admitted = now;
   admitted_counter().add();
-  queue_wait_histogram().record(rec.queue_wait());
+  queue_wait_quantile().record(rec.queue_wait());
+  queue_sketch_.record(rec.queue_wait());
+  if (recording_) {
+    obs::Span span;
+    span.name = "queue";
+    span.job = static_cast<std::int64_t>(job_id);
+    span.t0 = rec.arrival;
+    span.t1 = now;
+    span.parent = job_span_id(job_id);
+    span.tags.emplace_back("width", width);
+    spans_.push_back(std::move(span));
+  }
   return true;
 }
 
@@ -321,10 +419,49 @@ void AgreementService::complete_sub_instance(InstanceSlot& slot, double now) {
   }
   rec.decisions_digest = h;
   instances_counter().add();
+  if (recording_) {
+    obs::Span inst;
+    inst.name = "inst";
+    inst.job = static_cast<std::int64_t>(slot.job_id);
+    inst.sub = slot.sub;
+    inst.t0 = slot.admitted_at;
+    inst.t1 = now;
+    inst.parent = job_span_id(slot.job_id);
+    inst.tags.emplace_back("rounds", shape.rounds);
+    if (slot.injected) {
+      add_injection_tags(inst.tags, slot.net->stats(), nullptr);
+    }
+    spans_.push_back(std::move(inst));
+  }
   ActiveJob& job = jobs_[slot.job_id];
   if (--job.remaining_subs == 0) {
     rec.completed = now;
     ++finished_this_run_;
+    ++completed_so_far_;
+    // Recorded at completion (not in the end-of-run fold) so periodic
+    // samples can report running latency quantiles.
+    decision_latency_quantile().record(rec.latency());
+    latency_sketch_.record(rec.latency());
+    if (recording_) {
+      obs::Span job_span;
+      job_span.name = "job";
+      job_span.job = static_cast<std::int64_t>(slot.job_id);
+      job_span.t0 = rec.arrival;
+      job_span.t1 = now;
+      job_span.tags.emplace_back("tmpl", rec.template_index);
+      job_span.tags.emplace_back("adv", rec.adversary_index);
+      spans_.push_back(std::move(job_span));
+      obs::Span decide;
+      decide.name = "decide";
+      decide.job = static_cast<std::int64_t>(slot.job_id);
+      decide.t0 = now;
+      decide.t1 = now;
+      decide.parent = job_span_id(slot.job_id);
+      decide.tags.emplace_back("ok", rec.satisfied ? 1 : 0);
+      decide.tags.emplace_back("cond",
+                               static_cast<std::int64_t>(rec.applied));
+      spans_.push_back(std::move(decide));
+    }
   }
 }
 
@@ -360,6 +497,25 @@ void AgreementService::tick(double now) {
   // finished sub-instances into their job records and recycle the slots.
   std::size_t kept = 0;
   for (InstanceSlot* slot : active_) {
+    if (recording_) {
+      // The round this tick just processed, [previous boundary, now],
+      // tagged with the injection deltas it incurred.
+      obs::Span span;
+      span.name = "round";
+      span.job = static_cast<std::int64_t>(slot->job_id);
+      span.sub = slot->sub;
+      span.round = slot->engine.rounds_processed() - 1;
+      span.t0 = slot->last_time;
+      span.t1 = now;
+      span.parent = inst_span_id(slot->job_id, slot->sub);
+      if (slot->injected) {
+        const inject::InjectionStats& cur = slot->net->stats();
+        add_injection_tags(span.tags, cur, &slot->last_stats);
+        slot->last_stats = cur;
+      }
+      slot->last_time = now;
+      spans_.push_back(std::move(span));
+    }
     if (!slot->engine.done()) {
       active_[kept++] = slot;
       continue;
@@ -367,6 +523,16 @@ void AgreementService::tick(double now) {
     complete_sub_instance(*slot, now);
     release_slot(slot);
     --active_width_;
+    if (recording_) {
+      obs::Span span;
+      span.name = "recycle";
+      span.job = static_cast<std::int64_t>(slot->job_id);
+      span.sub = slot->sub;
+      span.t0 = now;
+      span.t1 = now;
+      span.parent = inst_span_id(slot->job_id, slot->sub);
+      spans_.push_back(std::move(span));
+    }
   }
   active_.resize(kept);
 }
@@ -383,6 +549,13 @@ ServiceResult AgreementService::run() {
   jobs_.clear();
   jobs_.resize(offered);
   queue_.clear();
+  spans_.clear();
+  samples_.clear();
+  latency_sketch_.clear();
+  queue_sketch_.clear();
+  completed_so_far_ = 0;
+  shed_so_far_ = 0;
+  next_sample_ = config_.sample_every > 0.0 ? config_.sample_every : kNever;
 
   ServiceResult result;
   ArrivalGenerator gen(config_.arrivals, config_.seed);
@@ -393,6 +566,10 @@ ServiceResult AgreementService::run() {
   double now = 0.0;
 
   while (finished_this_run_ < offered) {
+    // Emit time-series points for grid instants strictly before the next
+    // event: between events the state is constant, so each point reflects
+    // the state as of its own instant.
+    flush_samples(std::min(next_arrival, next_tick));
     if (arrived < offered && next_arrival <= next_tick) {
       // Arrival event (ties with a tick resolve arrival-first, so a job
       // arriving exactly at a tick boundary can join that tick's batch).
@@ -417,9 +594,22 @@ ServiceResult AgreementService::run() {
           queue_.pop_front();
           records_[victim].shed = true;
           records_[victim].applied = Condition::kNone;
+          records_[victim].shed_at = now;
           shed_counter().add();
           ++result.shed;
           ++finished_this_run_;
+          ++shed_so_far_;
+          if (recording_) {
+            obs::Span span;
+            span.name = "job";
+            span.job = static_cast<std::int64_t>(victim);
+            span.t0 = records_[victim].arrival;
+            span.t1 = now;
+            span.tags.emplace_back("tmpl", records_[victim].template_index);
+            span.tags.emplace_back("adv", records_[victim].adversary_index);
+            span.tags.emplace_back("shed", 1);
+            spans_.push_back(std::move(span));
+          }
         }
       }
       if (!active_.empty() && next_tick == kNever) {
@@ -438,6 +628,10 @@ ServiceResult AgreementService::run() {
     next_tick = active_.empty() ? kNever : now + config_.round_period;
   }
 
+  // Close the time series at the makespan (the grid never reaches it:
+  // flushes stop strictly before the final event).
+  if (config_.sample_every > 0.0) push_sample(now);
+
   // Fold the per-run aggregates.
   result.records = records_;
   result.completed = 0;
@@ -447,9 +641,15 @@ ServiceResult AgreementService::run() {
     if (rec.shed) continue;
     ++result.completed;
     completed_counter().add();
-    decision_latency_histogram().record(rec.latency());
     if (!rec.satisfied) ++result.violations;
   }
+  if (recording_) {
+    obs::canonicalize(spans_);
+    result.spans = spans_;
+  }
+  result.samples = samples_;
+  result.latency_sketch = latency_sketch_;
+  result.queue_sketch = queue_sketch_;
   obs::MetricsRegistry::global().set_gauge("service.peak_active",
                                            result.peak_active);
   obs::MetricsRegistry::global().set_gauge("service.cap", config_.cap);
@@ -457,6 +657,30 @@ ServiceResult AgreementService::run() {
                        std::chrono::steady_clock::now() - wall_start)
                        .count();
   return result;
+}
+
+bool AgreementService::job_injected(std::uint64_t job_id) const {
+  return job_id % config_.inject_every == 0;
+}
+
+void AgreementService::flush_samples(double next_event) {
+  if (next_sample_ == kNever || next_event == kNever) return;
+  while (next_sample_ < next_event) {
+    push_sample(next_sample_);
+    next_sample_ += config_.sample_every;
+  }
+}
+
+void AgreementService::push_sample(double at) {
+  ServiceSample sample;
+  sample.time = at;
+  sample.active = active_width_;
+  sample.queued = queue_.size();
+  sample.completed = completed_so_far_;
+  sample.shed = shed_so_far_;
+  sample.latency_p50 = latency_sketch_.quantile(0.5);
+  sample.latency_p99 = latency_sketch_.quantile(0.99);
+  samples_.push_back(sample);
 }
 
 double ServiceResult::latency_quantile(double q) const {

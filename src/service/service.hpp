@@ -8,6 +8,9 @@
 
 #include "core/checker.hpp"
 #include "core/scenario.hpp"
+#include "inject/fault_plan.hpp"
+#include "obs/quantiles.hpp"
+#include "obs/spans.hpp"
 #include "service/arrivals.hpp"
 #include "sim/adversary.hpp"
 #include "sim/round_engine.hpp"
@@ -105,6 +108,17 @@ struct ServiceConfig {
   int jobs = 1;
   /// Scenario mix; `default_mix()` when empty.
   std::vector<JobTemplate> mix{};
+  /// Record causal lifecycle spans (job/queue/inst/round/decide/recycle,
+  /// obs/spans.hpp) into `ServiceResult::spans`. Ignored when the build's
+  /// metrics kill switch (DA_METRICS=OFF) is on.
+  bool record_spans = false;
+  /// Emit a `ServiceSample` every this much virtual time (0 = off).
+  double sample_every = 0.0;
+  /// Fault plan routed through selected jobs' message transport via a
+  /// per-slot `inject::InjectionNetwork` (inactive plan = reliable links).
+  inject::FaultPlan fault_plan{};
+  /// Every k-th job (id % k == 0) runs under `fault_plan`; 1 = every job.
+  std::uint64_t inject_every = 1;
 };
 
 /// Outcome of one job, in virtual time. `admitted`/`completed` are
@@ -123,6 +137,10 @@ struct JobRecord {
   bool satisfied = true;
   /// mix64 fold of every (node, decision) pair, all coordinates.
   std::uint64_t decisions_digest = 0;
+  /// Virtual time the job was shed (-1 when not shed). Redundant with the
+  /// event sequence, so excluded from `digest()`/`artifact()`; it closes
+  /// the shed job's span.
+  double shed_at = -1.0;
 
   [[nodiscard]] double queue_wait() const {
     return admitted < 0.0 ? 0.0 : admitted - arrival;
@@ -130,6 +148,21 @@ struct JobRecord {
   [[nodiscard]] double latency() const {
     return completed < 0.0 ? 0.0 : completed - arrival;
   }
+};
+
+/// One periodic time-series point, taken on the `sample_every` grid of
+/// virtual time by the event loop — every field derives from deterministic
+/// event-loop state, so the series is identical for every `jobs` value.
+struct ServiceSample {
+  double time = 0.0;
+  int active = 0;          // occupied slots at this instant
+  std::size_t queued = 0;  // jobs waiting for admission
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  /// Running decision-latency quantiles (sketch estimates; 0 until the
+  /// first completion).
+  double latency_p50 = 0.0;
+  double latency_p99 = 0.0;
 };
 
 /// Aggregate of one `run()` call.
@@ -145,6 +178,17 @@ struct ServiceResult {
   /// Highest number of simultaneously active slots observed.
   int peak_active = 0;
   std::uint64_t ticks = 0;
+  /// Causal spans in canonical order (when `record_spans`); empty
+  /// otherwise and under DA_METRICS=OFF.
+  std::vector<obs::Span> spans;
+  /// Periodic time series (when `sample_every > 0`).
+  std::vector<ServiceSample> samples;
+  /// Streaming sketches over completed jobs — decision latency and queue
+  /// wait in virtual time. Always recorded (independent of the registry
+  /// kill switch); exact-merge determinism makes their `serialize()` form
+  /// byte-identical across `jobs` values.
+  obs::QuantileSketch latency_sketch{};
+  obs::QuantileSketch queue_sketch{};
 
   /// Exact latency quantile over completed jobs (q in [0,1]); 0 when
   /// nothing completed.
@@ -199,6 +243,9 @@ class AgreementService {
   void drain_queue(double now);
   void tick(double now);
   void complete_sub_instance(InstanceSlot& slot, double now);
+  [[nodiscard]] bool job_injected(std::uint64_t job_id) const;
+  void flush_samples(double next_event);
+  void push_sample(double at);
 
   ServiceConfig config_;
   std::vector<JobTemplate> mix_;
@@ -223,6 +270,17 @@ class AgreementService {
   std::vector<JobRecord> records_;
   std::uint64_t finished_this_run_ = 0;  // completed + shed jobs
   sim::RunResult scratch_result_;
+
+  // Observability scratch (spans/samples/sketches, reset per run).
+  bool recording_ = false;        // record_spans, post kill-switch gate
+  bool inject_enabled_ = false;   // fault_plan.active()
+  std::vector<obs::Span> spans_;
+  std::vector<ServiceSample> samples_;
+  obs::QuantileSketch latency_sketch_;
+  obs::QuantileSketch queue_sketch_;
+  double next_sample_ = 0.0;
+  std::uint64_t completed_so_far_ = 0;
+  std::uint64_t shed_so_far_ = 0;
 };
 
 /// One-shot convenience: construct, run once, return the result.

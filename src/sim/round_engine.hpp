@@ -77,6 +77,13 @@ class RoundEngine {
   /// own table); faulty-set, network and process topology stay fixed.
   void set_adversary(Adversary* adversary) { options_.adversary = adversary; }
 
+  /// Swap the network model applied to future dispatches. Like
+  /// `set_adversary`, this is sound at a pre-dispatch boundary: no
+  /// dispatch of the current prefix consulted the old model after that
+  /// boundary. The agreement service uses it to attach a per-slot
+  /// fault-injection network on admission (docs/SERVICE.md).
+  void set_network(NetworkModel* network) { options_.network = network; }
+
   /// Full engine state at a pre-dispatch boundary. Opaque to callers;
   /// create with `snapshot()`, consume with `restore()`.
   struct Snapshot {

@@ -12,6 +12,10 @@
 #include "sim/trace.hpp"
 #include "util/ids.hpp"
 
+namespace da::obs {
+class SpanSink;
+}  // namespace da::obs
+
 namespace da::sim {
 
 /// Everything a runner needs besides the processes themselves.
@@ -24,6 +28,10 @@ struct RunOptions {
   NetworkModel* network = nullptr;
   /// Optional transcript capture (delivered messages per receiver).
   Trace* trace = nullptr;
+  /// Optional per-round phase tallies (send/deliver/resolve spans, see
+  /// obs/spans.hpp). The runtimes call it from their serialized dispatch
+  /// sections, so one sink observes one execution at a time.
+  obs::SpanSink* spans = nullptr;
 };
 
 /// Outcome of one protocol execution.

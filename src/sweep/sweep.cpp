@@ -102,7 +102,9 @@ SweepResult run_sweep(const ShardPlan& plan, const SweepOptions& options,
   static const obs::Counter violations("sweep.violations");
   static const obs::Counter shards("sweep.shards");
   static const obs::Counter cancelled_shards("sweep.cancelled_shards");
-  static const obs::Histogram shard_wall_ms("sweep.shard_wall_ms");
+  // A quantile sketch rather than the octave histogram: shard imbalance
+  // lives in the p99/max tail, which 2x-wide buckets cannot resolve.
+  static const obs::Quantile shard_wall_ms("sweep.shard_wall_ms");
   static const obs::Histogram worker_busy_ms("sweep.worker_busy_ms");
   static const obs::Histogram wall_ms("sweep.wall_ms");
   const obs::MetricsScope metrics_scope;

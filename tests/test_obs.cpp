@@ -100,6 +100,9 @@ TEST(Json, ParseRejectsMalformedInput) {
 // ------------------------------------------------------------- metrics --
 
 TEST(Metrics, CounterAddsFlushOnScopeExit) {
+#ifdef DA_METRICS_DISABLED
+  GTEST_SKIP() << "metrics instruments are no-ops under -DDA_METRICS=OFF";
+#endif
   auto& registry = MetricsRegistry::global();
   const std::uint64_t before = registry.counter_value("test.obs.counter");
   {
@@ -112,6 +115,9 @@ TEST(Metrics, CounterAddsFlushOnScopeExit) {
 }
 
 TEST(Metrics, PerThreadSinksMergeAcrossThreads) {
+#ifdef DA_METRICS_DISABLED
+  GTEST_SKIP() << "metrics instruments are no-ops under -DDA_METRICS=OFF";
+#endif
   auto& registry = MetricsRegistry::global();
   const std::uint64_t before = registry.counter_value("test.obs.threads");
   constexpr int kThreads = 4;
@@ -130,6 +136,9 @@ TEST(Metrics, PerThreadSinksMergeAcrossThreads) {
 }
 
 TEST(Metrics, HistogramSnapshotAggregates) {
+#ifdef DA_METRICS_DISABLED
+  GTEST_SKIP() << "metrics instruments are no-ops under -DDA_METRICS=OFF";
+#endif
   auto& registry = MetricsRegistry::global();
   {
     const MetricsScope scope;
@@ -163,6 +172,9 @@ TEST(Metrics, BucketOfIsMonotonicAndClamped) {
 }
 
 TEST(Metrics, GaugeIsLastWriteWins) {
+#ifdef DA_METRICS_DISABLED
+  GTEST_SKIP() << "metrics instruments are no-ops under -DDA_METRICS=OFF";
+#endif
   auto& registry = MetricsRegistry::global();
   registry.set_gauge("test.obs.gauge", 1.0);
   registry.set_gauge("test.obs.gauge", 8.0);
@@ -357,6 +369,9 @@ TEST(BenchSchema, RejectsRowArityMismatch) {
 }
 
 TEST(BenchSchema, MetricsToJsonContainsRegistryCounters) {
+#ifdef DA_METRICS_DISABLED
+  GTEST_SKIP() << "metrics instruments are no-ops under -DDA_METRICS=OFF";
+#endif
   {
     const MetricsScope scope;
     const Counter counter("test.obs.schema_counter");

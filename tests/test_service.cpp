@@ -16,7 +16,8 @@
 namespace da::service {
 namespace {
 
-std::uint64_t registry_counter(const char* name) {
+// [[maybe_unused]]: every call site is compiled out under -DDA_METRICS=OFF.
+[[maybe_unused]] std::uint64_t registry_counter(const char* name) {
   return obs::MetricsRegistry::global().counter_value(name);
 }
 
@@ -196,20 +197,26 @@ TEST(Service, SlotRecyclingIsAllocationFreeAfterWarmup) {
   (void)svc.run();  // warm-up: constructs the steady-state pool
   const std::uint64_t warm_slots = svc.slots_created();
   const std::uint64_t warm_reuses = svc.slot_reuses();
-  const std::uint64_t warm_counter = registry_counter("service.slots_created");
   EXPECT_GT(warm_slots, 0u);
   // Free lists are per shape, so the pool can hold up to `cap` slots for
   // each of the default mix's 7 shapes (3 BYZ + 4 IC coordinates) — still
   // a constant, vanishing next to the 10k-job churn.
   EXPECT_LE(warm_slots, static_cast<std::uint64_t>(config.cap) * 7);
+#ifndef DA_METRICS_DISABLED
+  const std::uint64_t warm_counter = registry_counter("service.slots_created");
+#endif
 
   const ServiceResult churn = svc.run();
   EXPECT_EQ(churn.completed, config.offered);
   EXPECT_EQ(svc.slots_created(), warm_slots)
       << "steady-state admission constructed a slot";
-  EXPECT_EQ(registry_counter("service.slots_created"), warm_counter);
   EXPECT_GE(svc.slot_reuses() - warm_reuses, config.offered);
+#ifndef DA_METRICS_DISABLED
+  // Registry counters mirror the service's own tallies — unless the
+  // -DDA_METRICS=OFF kill switch compiled them to no-ops.
+  EXPECT_EQ(registry_counter("service.slots_created"), warm_counter);
   EXPECT_GE(registry_counter("service.slot_reuse"), svc.slot_reuses());
+#endif
 }
 
 TEST(Service, ShedOldestBoundsTheQueue) {

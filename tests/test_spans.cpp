@@ -1,0 +1,474 @@
+// Causal span tracing + streaming quantile telemetry (src/obs/spans,
+// src/obs/quantiles, src/obs/exposition): sketch math and exact-merge
+// associativity, span export round-trips, cross-runtime phase-span
+// identity, and the service's jobs-invariant span/sketch/sample exports.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/byz.hpp"
+#include "event/event_runner.hpp"
+#include "faults/adversaries.hpp"
+#include "inject/injection_network.hpp"
+#include "obs/exposition.hpp"
+#include "obs/quantiles.hpp"
+#include "obs/spans.hpp"
+#include "rt/threaded_runner.hpp"
+#include "service/service.hpp"
+#include "sim/round_engine.hpp"
+#include "util/rng.hpp"
+
+namespace da {
+namespace {
+
+using obs::QuantileSketch;
+using obs::Span;
+using obs::SpanSink;
+
+// ----------------------------------------------------------- sketches --
+
+TEST(QuantileSketch, BucketOfCoversAllDoubles) {
+  EXPECT_EQ(QuantileSketch::bucket_of(0.0), 0u);
+  EXPECT_EQ(QuantileSketch::bucket_of(-1.0), 0u);
+  EXPECT_EQ(QuantileSketch::bucket_of(std::nan("")), 0u);
+  EXPECT_EQ(QuantileSketch::bucket_of(std::ldexp(1.0, -40)), 0u);
+  EXPECT_EQ(QuantileSketch::bucket_of(std::numeric_limits<double>::infinity()),
+            QuantileSketch::kBuckets - 1);
+  EXPECT_EQ(QuantileSketch::bucket_of(std::ldexp(1.0, 20)),
+            QuantileSketch::kBuckets - 1);
+  // Monotone over the covered range.
+  std::size_t prev = 0;
+  for (double v = 1e-5; v < 4000.0; v *= 1.07) {
+    const std::size_t b = QuantileSketch::bucket_of(v);
+    EXPECT_GE(b, prev) << v;
+    prev = b;
+  }
+}
+
+TEST(QuantileSketch, BucketMidIsInsideItsBucket) {
+  for (double v : {0.001, 0.5, 1.0, 1.5, 3.0, 42.0, 1000.0}) {
+    const std::size_t b = QuantileSketch::bucket_of(v);
+    const double mid = QuantileSketch::bucket_mid(b);
+    EXPECT_EQ(QuantileSketch::bucket_of(mid), b) << v;
+  }
+}
+
+TEST(QuantileSketch, QuantileWithinRelativeErrorBound) {
+  QuantileSketch sketch;
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = 0.1 + 10.0 * rng.uniform();
+    values.push_back(v);
+    sketch.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const double approx = sketch.quantile(q);
+    // 2^(1/32)-1 bucket width plus nearest-rank slack.
+    EXPECT_NEAR(approx, exact, exact * 0.05 + 1e-9) << q;
+  }
+  EXPECT_EQ(sketch.count(), 5000u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), sketch.min());
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), sketch.max());
+}
+
+TEST(QuantileSketch, EmptyAndSingletonBehave) {
+  QuantileSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);
+  sketch.record(3.25);
+  EXPECT_EQ(sketch.count(), 1u);
+  EXPECT_DOUBLE_EQ(sketch.min(), 3.25);
+  EXPECT_DOUBLE_EQ(sketch.max(), 3.25);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 3.25);  // clamped to [min, max]
+}
+
+TEST(QuantileSketch, MergeEqualsBulkRecord) {
+  QuantileSketch a;
+  QuantileSketch b;
+  QuantileSketch bulk;
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform() * 100.0;
+    (i % 2 == 0 ? a : b).record(v);
+    bulk.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.serialize(), bulk.serialize());
+  EXPECT_EQ(a.count(), bulk.count());
+}
+
+// The determinism linchpin: merging thread-local sketches must yield the
+// same canonical state no matter how the flush order associates.
+TEST(QuantileSketch, MergeIsAssociativeAndCommutative) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    QuantileSketch parts[3];
+    for (int i = 0; i < 200; ++i) {
+      parts[rng.below(3)].record(rng.uniform() * 1000.0 - 200.0);
+    }
+    QuantileSketch left = parts[0];   // (a + b) + c
+    left.merge(parts[1]);
+    left.merge(parts[2]);
+    QuantileSketch right = parts[2];  // a + (c + b), a folded last
+    right.merge(parts[1]);
+    right.merge(parts[0]);
+    EXPECT_EQ(left.serialize(), right.serialize()) << trial;
+  }
+}
+
+TEST(QuantileSketch, SerializeExcludesSum) {
+  // Same samples in different order: sums may differ in the last ulp,
+  // canonical serialization must not.
+  QuantileSketch fwd;
+  QuantileSketch rev;
+  std::vector<double> values;
+  Rng rng(17);
+  for (int i = 0; i < 300; ++i) values.push_back(rng.uniform() * 7.0 + 0.01);
+  for (double v : values) fwd.record(v);
+  std::reverse(values.begin(), values.end());
+  for (double v : values) rev.record(v);
+  EXPECT_EQ(fwd.serialize(), rev.serialize());
+  EXPECT_NE(fwd.serialize().find("qsketch/1"), std::string::npos);
+}
+
+// -------------------------------------------------------------- spans --
+
+TEST(Span, IdDerivesFromIdentity) {
+  Span s;
+  s.name = "round";
+  s.job = 12;
+  s.sub = 0;
+  s.round = 3;
+  EXPECT_EQ(s.id(), "round:12.0#3");
+  Span phase;
+  phase.name = "send";
+  phase.round = 2;
+  EXPECT_EQ(phase.id(), "send#2");
+}
+
+TEST(Span, JsonRoundTrip) {
+  Span s;
+  s.name = "inst";
+  s.job = 4;
+  s.sub = 1;
+  s.t0 = 1.5;
+  s.t1 = 3.25;
+  s.parent = "job:4";
+  s.tags = {{"rounds", 2}, {"inj_dropped", 1}};
+  const auto back = Span::from_json(s.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, s);
+}
+
+TEST(Span, FromJsonRejectsForgedId) {
+  Span s;
+  s.name = "job";
+  s.job = 9;
+  obs::Json j = s.to_json();
+  j.set("id", "job:8");  // id no longer matches the identity fields
+  EXPECT_FALSE(Span::from_json(j).has_value());
+}
+
+TEST(Span, CanonicalizeIsEmissionOrderIndependent) {
+  std::vector<Span> spans;
+  for (int job = 2; job >= 0; --job) {
+    for (int r = 1; r >= 0; --r) {
+      Span s;
+      s.name = "round";
+      s.job = job;
+      s.sub = 0;
+      s.round = r;
+      s.t0 = r;
+      s.t1 = r + 1;
+      spans.push_back(s);
+    }
+  }
+  std::vector<Span> shuffled = spans;
+  std::reverse(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(obs::spans_to_jsonl(spans), obs::spans_to_jsonl(shuffled));
+}
+
+TEST(Span, JsonlRoundTripAndBadLineRejected) {
+  Span s;
+  s.name = "queue";
+  s.job = 1;
+  s.t1 = 0.5;
+  const std::string jsonl = obs::spans_to_jsonl({s});
+  std::string error;
+  const auto parsed = obs::read_spans_jsonl(jsonl, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(parsed->front(), s);
+  EXPECT_FALSE(obs::read_spans_jsonl("{not json\n", &error).has_value());
+}
+
+#ifndef DA_METRICS_DISABLED
+
+TEST(SpanSink, RendersPhaseTriplesPerRound) {
+  SpanSink sink;
+  sink.note_send(0, 4);
+  sink.note_deliver(0, 3);  // one message dropped
+  sink.note_resolve(0, 4);
+  sink.note_send(1, 12);
+  sink.note_deliver(1, 12);
+  sink.note_resolve(1, 4);
+  sink.note_done(2);
+  const std::vector<Span> spans = sink.round_spans();
+  ASSERT_EQ(spans.size(), 7u);  // 3 per round + decide
+  EXPECT_EQ(spans[0].id(), "send#0");
+  EXPECT_EQ(spans[1].id(), "deliver#0");
+  EXPECT_EQ(spans[1].parent, "send#0");
+  const auto dropped = std::find_if(
+      spans[1].tags.begin(), spans[1].tags.end(),
+      [](const auto& tag) { return tag.first == "dropped"; });
+  ASSERT_NE(dropped, spans[1].tags.end());
+  EXPECT_EQ(dropped->second, 1);
+  EXPECT_EQ(spans[2].id(), "resolve#0");
+  EXPECT_EQ(spans[2].parent, "deliver#0");
+  EXPECT_EQ(spans.back().name, "decide");
+  EXPECT_DOUBLE_EQ(spans.back().t0, 2.0);
+}
+
+// The three runtimes must export byte-identical phase spans for the same
+// scenario — the span analogue of the cross-runtime decision contract.
+TEST(SpanSink, CrossRuntimeByteIdentical) {
+  const Config config{.n = 5, .m = 1, .u = 2};
+  const ScenarioSpec spec{
+      .config = config, .sender = 0, .sender_value = Value::of(17),
+      .faulty = {2, 4}};
+
+  const auto run_sim = [&] {
+    SpanSink sink;
+    auto adversary = faults::constant_liar(Value::of(5));
+    sim::RunOptions options;
+    options.faulty = spec.faulty;
+    options.adversary = adversary.get();
+    options.spans = &sink;
+    sim::RoundEngine engine(
+        core::make_byz_processes(config, spec.sender, spec.sender_value),
+        std::move(options));
+    (void)engine.run();
+    return obs::spans_to_jsonl(sink.round_spans());
+  };
+  const auto run_threaded = [&] {
+    SpanSink sink;
+    auto adversary = faults::constant_liar(Value::of(5));
+    sim::RunOptions options;
+    options.faulty = spec.faulty;
+    options.adversary = adversary.get();
+    options.spans = &sink;
+    rt::ThreadedRunner runner(
+        core::make_byz_processes(config, spec.sender, spec.sender_value),
+        std::move(options));
+    (void)runner.run();
+    return obs::spans_to_jsonl(sink.round_spans());
+  };
+  const auto run_event = [&] {
+    SpanSink sink;
+    auto adversary = faults::constant_liar(Value::of(5));
+    sim::RunOptions options;
+    options.faulty = spec.faulty;
+    options.adversary = adversary.get();
+    options.spans = &sink;
+    event::EventRunner runner(
+        core::make_byz_processes(config, spec.sender, spec.sender_value),
+        std::move(options), event::TimingModel{},
+        event::perfect_clocks(config.n));
+    (void)runner.run();
+    return obs::spans_to_jsonl(sink.round_spans());
+  };
+
+  const std::string sim_spans = run_sim();
+  EXPECT_FALSE(sim_spans.empty());
+  EXPECT_EQ(sim_spans, run_threaded());
+  EXPECT_EQ(sim_spans, run_event());
+}
+
+#endif  // DA_METRICS_DISABLED
+
+// ------------------------------------------------------------ service --
+
+service::ServiceConfig obs_service_config(int jobs) {
+  service::ServiceConfig config;
+  config.arrivals = service::ArrivalSpec::poisson(12.0);
+  config.offered = 120;
+  config.cap = 12;
+  config.seed = 7;
+  config.jobs = jobs;
+  config.record_spans = true;
+  config.sample_every = 3.0;
+  auto plan = inject::FaultPlan::parse(
+      "seed 9\ndrop from=2 to=1 round=1\ndelay from=1 to=*\n");
+  config.fault_plan = *plan;
+  config.inject_every = 2;
+  return config;
+}
+
+TEST(ServiceObs, SpansAndSketchesIdenticalAcrossJobs) {
+  const service::ServiceResult base =
+      service::run_service(obs_service_config(1));
+  for (int jobs : {2, 4}) {
+    const service::ServiceResult other =
+        service::run_service(obs_service_config(jobs));
+    EXPECT_EQ(base.digest(), other.digest()) << jobs;
+    EXPECT_EQ(obs::spans_to_jsonl(base.spans),
+              obs::spans_to_jsonl(other.spans))
+        << jobs;
+    EXPECT_EQ(base.latency_sketch.serialize(),
+              other.latency_sketch.serialize())
+        << jobs;
+    EXPECT_EQ(base.queue_sketch.serialize(), other.queue_sketch.serialize())
+        << jobs;
+    ASSERT_EQ(base.samples.size(), other.samples.size()) << jobs;
+    for (std::size_t i = 0; i < base.samples.size(); ++i) {
+      EXPECT_EQ(base.samples[i].time, other.samples[i].time);
+      EXPECT_EQ(base.samples[i].active, other.samples[i].active);
+      EXPECT_EQ(base.samples[i].queued, other.samples[i].queued);
+      EXPECT_EQ(base.samples[i].completed, other.samples[i].completed);
+      EXPECT_EQ(base.samples[i].latency_p50, other.samples[i].latency_p50);
+      EXPECT_EQ(base.samples[i].latency_p99, other.samples[i].latency_p99);
+    }
+  }
+}
+
+TEST(ServiceObs, WarmRerunExportsIdenticalSpans) {
+  service::AgreementService svc(obs_service_config(2));
+  const service::ServiceResult cold = svc.run();
+  const service::ServiceResult warm = svc.run();  // recycled slots
+  EXPECT_EQ(cold.digest(), warm.digest());
+  EXPECT_EQ(obs::spans_to_jsonl(cold.spans), obs::spans_to_jsonl(warm.spans));
+  EXPECT_EQ(cold.latency_sketch.serialize(), warm.latency_sketch.serialize());
+}
+
+TEST(ServiceObs, RecordingSpansDoesNotPerturbTheRun) {
+  service::ServiceConfig with = obs_service_config(1);
+  service::ServiceConfig without = with;
+  without.record_spans = false;
+  without.sample_every = 0.0;
+  const service::ServiceResult a = service::run_service(with);
+  const service::ServiceResult b = service::run_service(without);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.artifact(), b.artifact());
+  EXPECT_TRUE(b.spans.empty());
+  EXPECT_TRUE(b.samples.empty());
+  // The always-on sketches are independent of the span switch.
+  EXPECT_EQ(a.latency_sketch.serialize(), b.latency_sketch.serialize());
+}
+
+TEST(ServiceObs, SpanTreeIsWellFormed) {
+  const service::ServiceResult result =
+      service::run_service(obs_service_config(1));
+#ifndef DA_METRICS_DISABLED
+  ASSERT_FALSE(result.spans.empty());
+  // Unique ids, resolvable parents, child windows inside parents.
+  std::map<std::string, const Span*> by_id;
+  for (const Span& s : result.spans) {
+    EXPECT_TRUE(by_id.emplace(s.id(), &s).second) << s.id();
+    EXPECT_LE(s.t0, s.t1) << s.id();
+  }
+  bool saw_rule_tag = false;
+  for (const Span& s : result.spans) {
+    if (!s.parent.empty()) {
+      const auto it = by_id.find(s.parent);
+      ASSERT_NE(it, by_id.end()) << s.parent;
+      EXPECT_GE(s.t0, it->second->t0 - 1e-9) << s.id();
+      EXPECT_LE(s.t1, it->second->t1 + 1e-9) << s.id();
+    }
+    for (const auto& [key, value] : s.tags) {
+      if (key.rfind("rule", 0) == 0) saw_rule_tag = true;
+    }
+  }
+  // The fault plan left its fingerprints on at least one round span.
+  EXPECT_TRUE(saw_rule_tag);
+  // Canonical order: re-canonicalizing is a no-op.
+  std::vector<Span> sorted = result.spans;
+  obs::canonicalize(sorted);
+  EXPECT_EQ(sorted, result.spans);
+#else
+  // Kill switch: span recording compiles to nothing.
+  EXPECT_TRUE(result.spans.empty());
+#endif
+}
+
+// ------------------------------------------------- injection rule hits --
+
+TEST(InjectionNetworkObs, RuleHitsAttributeDecisions) {
+  auto plan = inject::FaultPlan::parse(
+      "seed 3\ndrop from=1 to=2 round=0\ndup from=3 to=* copies=2\n");
+  ASSERT_TRUE(plan.has_value());
+  inject::InjectionNetwork net(*plan);
+  ASSERT_EQ(net.stats().rule_hits.size(), 2u);
+
+  sim::Message hit_drop{.from = 1, .to = 2, .round = 0};
+  sim::Message hit_dup{.from = 3, .to = 0, .round = 1};
+  sim::Message miss{.from = 0, .to = 1, .round = 0};
+  (void)net.transit_fanout(hit_drop);
+  (void)net.transit_fanout(hit_dup);
+  (void)net.transit_fanout(miss);
+  EXPECT_EQ(net.stats().rule_hits[0], 1u);
+  EXPECT_EQ(net.stats().rule_hits[1], 1u);
+  EXPECT_EQ(net.stats().examined, 3u);
+  EXPECT_EQ(net.stats().dropped, 1u);
+  EXPECT_EQ(net.stats().duplicated, 1u);
+
+  net.reset_stats();
+  EXPECT_EQ(net.stats().examined, 0u);
+  ASSERT_EQ(net.stats().rule_hits.size(), 2u);
+  EXPECT_EQ(net.stats().rule_hits[0], 0u);
+
+  // Reseeding changes only the seed-dependent draws, not the rule table.
+  net.reseed(99);
+  (void)net.transit_fanout(hit_drop);
+  EXPECT_EQ(net.stats().rule_hits[0], 1u);
+}
+
+// --------------------------------------------------------- exposition --
+
+TEST(Exposition, RendersAllMetricKinds) {
+  obs::MetricsSnapshot snap;
+  snap.counters["sim.messages_sent"] = 42;
+  snap.gauges["service.cap"] = 256.0;
+  obs::HistogramSnapshot hist;
+  hist.count = 2;
+  hist.sum = 3.0;
+  hist.min = 1.0;
+  hist.max = 2.0;
+  hist.buckets[obs::HistogramSnapshot::bucket_of(1.0)] += 1;
+  hist.buckets[obs::HistogramSnapshot::bucket_of(2.0)] += 1;
+  snap.histograms["sim.round_ms"] = hist;
+  QuantileSketch sketch;
+  sketch.record(1.0);
+  sketch.record(2.0);
+  sketch.record(3.0);
+  snap.quantiles["service.decision_latency"] = sketch;
+
+  const std::string text = obs::to_exposition(snap);
+  EXPECT_NE(text.find("# TYPE da_sim_messages_sent counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("da_sim_messages_sent 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE da_service_cap gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE da_sim_round_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("da_sim_round_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE da_service_decision_latency summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("da_service_decision_latency{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("da_service_decision_latency_count 3"),
+            std::string::npos);
+  // Deterministic output: rendering twice is byte-identical.
+  EXPECT_EQ(text, obs::to_exposition(snap));
+}
+
+}  // namespace
+}  // namespace da

@@ -26,21 +26,28 @@
 #   8. with --service-demo BIN (the built examples/service_demo.cpp),
 #      every non-comment line of the ```demo fence in docs/SERVICE.md is
 #      run as arguments to BIN, so the documented walkthrough commands
-#      cannot drift from the flags the demo accepts.
+#      cannot drift from the flags the demo accepts;
+#   9. with --span-check BIN (the built examples/span_inspect.cpp), the
+#      demo run is executed, its spans.jsonl must pass `BIN check`, and
+#      every span field named in the ```spans fence of
+#      docs/OBSERVABILITY.md must occur in the emitted JSONL, so the
+#      documented span schema cannot drift from what the service records.
 #
 # Usage: docs_check.sh [--bench-json FILE] [--plan-check BIN]
-#                      [--service-demo BIN] [repo-root]
+#                      [--service-demo BIN] [--span-check BIN] [repo-root]
 #        (repo-root defaults to the script's parent dir)
 
 set -u
 bench_json=
 plan_check=
 service_demo=
+span_check=
 while :; do
   case ${1:-} in
     --bench-json) bench_json=$2; shift 2 ;;
     --plan-check) plan_check=$2; shift 2 ;;
     --service-demo) service_demo=$2; shift 2 ;;
+    --span-check) span_check=$2; shift 2 ;;
     *) break ;;
   esac
 done
@@ -187,6 +194,40 @@ if [ -n "$service_demo" ]; then
       done < "$tmpdir/demo"
       [ "$ran" -gt 0 ] || \
         fail "docs/SERVICE.md demo fence contains no runnable lines"
+    fi
+  fi
+fi
+
+# 9. The OBSERVABILITY.md span schema vs real span_inspect output: the
+#    demo run must produce a spans.jsonl that passes the structural
+#    checker, and every field the ```spans fence documents must occur in
+#    the emitted JSONL.
+if [ -n "$span_check" ]; then
+  if [ ! -x "$span_check" ]; then
+    fail "--span-check: $span_check is not executable"
+  elif [ ! -e docs/OBSERVABILITY.md ]; then
+    fail "--span-check given but docs/OBSERVABILITY.md is missing"
+  else
+    if ! "$span_check" demo "$tmpdir/spandemo" \
+         > /dev/null 2> "$tmpdir/span_err"; then
+      cat "$tmpdir/span_err" >&2
+      fail "span_inspect demo run failed"
+    elif ! "$span_check" check "$tmpdir/spandemo/spans.jsonl" \
+           > /dev/null 2> "$tmpdir/span_err"; then
+      cat "$tmpdir/span_err" >&2
+      fail "span_inspect demo spans fail the structural check"
+    else
+      awk '/^```spans$/{grab=1; next} /^```$/{grab=0} grab' \
+          docs/OBSERVABILITY.md \
+        | grep -o '"[A-Za-z_][A-Za-z0-9_]*":' \
+        | sed -e 's/^"//' -e 's/":$//' | sort -u > "$tmpdir/span_keys"
+      if [ ! -s "$tmpdir/span_keys" ]; then
+        fail "no \`\`\`spans fence with fields found in docs/OBSERVABILITY.md"
+      fi
+      while IFS= read -r key; do
+        grep -q "\"$key\"" "$tmpdir/spandemo/spans.jsonl" || \
+          fail "span schema field \`$key\` absent from the demo spans.jsonl"
+      done < "$tmpdir/span_keys"
     fi
   fi
 fi
