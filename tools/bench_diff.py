@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -419,7 +420,13 @@ def main() -> int:
         baseline_path=args.baseline,
         candidate_path=args.candidate,
     )
-    print("\n".join(lines))
+    try:
+        print("\n".join(lines))
+    except BrokenPipeError:
+        # A downstream `| head` closed the pipe early; swallow the write
+        # error (and park stdout on devnull so interpreter shutdown does
+        # not raise it again) but keep the regression exit status.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return status
 
 
