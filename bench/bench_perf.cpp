@@ -246,6 +246,39 @@ BENCHMARK(BM_BehaviorSearch)
     ->Args({5, 1})
     ->Unit(benchmark::kMillisecond);
 
+// Symmetry-reduction ablation: the behaviour walk visiting every ordinal
+// vs only the canonical representative of each receiver-relabeling orbit
+// (docs/SEARCH.md §5), single worker, checkpointing on, clean configs so
+// both sides settle the whole space. range(0) = n, range(1) = symmetry.
+// tests/test_canonicalization.cpp holds the two sides to identical
+// verdicts and reconciled counts; this measures what the orbit skip buys
+// (the `executions` counter shrinks to the representatives run while
+// `weighted` stays at the full 4^k space).
+void BM_BehaviorSearchCanonical(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool symmetry = state.range(1) != 0;
+  const da::Config config{.n = n, .m = 1, .u = n - 3};
+  da::faults::BehaviorSearchOptions search;
+  search.symmetry = symmetry;
+  da::sweep::SweepOptions options;
+  options.jobs = 1;
+  da::sweep::SweepStats stats;
+  for (auto _ : state) {
+    const auto violation =
+        da::faults::exhaustive_behavior_search(config, search, options, &stats);
+    benchmark::DoNotOptimize(violation);
+  }
+  state.counters["executions"] = static_cast<double>(stats.executions);
+  state.counters["weighted"] = static_cast<double>(stats.weighted_executions);
+  state.counters["symmetry"] = symmetry ? 1 : 0;
+}
+BENCHMARK(BM_BehaviorSearchCanonical)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Unit(benchmark::kMillisecond);
+
 // Same ablation for the adversary-family search, whose checkpoint is the
 // honest round-0 prefix shared across the family (n = 7 feasible config,
 // no violation, so every scenario runs the whole family).

@@ -1,0 +1,290 @@
+// Resumable exhaustive behaviour certification from the command line:
+// initialize a serialized search frontier, run (or resume) it with a
+// shard budget, split it across files for distribution, merge the parts
+// back, and emit the final byte-deterministic artifact.
+//
+//   search_resume init    --out F [--n N --m M --u U] [--max-f K] [--seed S]
+//   search_resume run     --frontier F [--jobs J] [--max-shards K]
+//                         [--no-symmetry] [--no-checkpointing]
+//   search_resume status  --frontier F
+//   search_resume split   --frontier F --parts P --out-prefix PFX
+//   search_resume merge   --out F part1 part2 ...
+//   search_resume artifact --frontier F [--out F2]
+//
+// `run` checkpoints the frontier back to its file after every settled
+// shard (atomic tmp+rename), so a `kill -9` mid-sweep loses at most the
+// in-flight shards' partial cursors; rerunning `run` resumes from the
+// last checkpoint and converges to the same normalized artifact for any
+// --jobs value and any interruption pattern (docs/SEARCH.md §5).
+// `artifact` refuses to print until the frontier has settled.
+//
+// Exit status: 0 on success (for `run`: the verdict may be either way;
+// for `artifact`: frontier settled), 1 on a clean "not settled yet",
+// 2 on usage or file errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "faults/behavior_search.hpp"
+#include "faults/frontier.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "search_resume: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  search_resume init    --out F [--n N --m M --u U] [--max-f K] "
+      "[--seed S]\n"
+      "  search_resume run     --frontier F [--jobs J] [--max-shards K]\n"
+      "                        [--no-symmetry] [--no-checkpointing]\n"
+      "  search_resume status  --frontier F\n"
+      "  search_resume split   --frontier F --parts P --out-prefix PFX\n"
+      "  search_resume merge   --out F part1 part2 ...\n"
+      "  search_resume artifact --frontier F [--out F2]\n");
+  std::exit(2);
+}
+
+int parse_int(const char* flag, const char* arg) {
+  char* end = nullptr;
+  const long v = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0') usage(flag);
+  return static_cast<int>(v);
+}
+
+da::faults::Frontier load_or_die(const std::string& path) {
+  da::faults::FrontierParse parsed = da::faults::load_frontier(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "search_resume: %s: %s\n", path.c_str(),
+                 parsed.error.c_str());
+    std::exit(2);
+  }
+  return *std::move(parsed.frontier);
+}
+
+void save_or_die(const da::faults::Frontier& frontier,
+                 const std::string& path) {
+  if (!da::faults::save_frontier(frontier, path)) {
+    std::fprintf(stderr, "search_resume: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+}
+
+void print_status(const da::faults::Frontier& frontier) {
+  std::size_t settled = 0;
+  std::uint64_t scanned = 0;
+  std::uint64_t executions = 0;
+  std::uint64_t weighted = 0;
+  for (const da::faults::FrontierShard& s : frontier.shards) {
+    if (s.settled()) ++settled;
+    scanned += s.cursor - s.begin;
+    executions += s.executions;
+    weighted += s.weighted;
+  }
+  std::printf("config        n=%d m=%d u=%d max_f=%d seed=%llu\n",
+              frontier.config.n, frontier.config.m, frontier.config.u,
+              frontier.max_f,
+              static_cast<unsigned long long>(frontier.seed));
+  std::printf("space         %llu ordinals, %zu shards (%s)\n",
+              static_cast<unsigned long long>(frontier.space),
+              frontier.shards.size(),
+              frontier.covers_space() ? "full plan" : "split part");
+  std::printf("progress      %zu/%zu shards settled, %llu ordinals scanned\n",
+              settled, frontier.shards.size(),
+              static_cast<unsigned long long>(scanned));
+  std::printf("executions    %llu representatives, %llu orbit-weighted\n",
+              static_cast<unsigned long long>(executions),
+              static_cast<unsigned long long>(weighted));
+  const std::uint64_t hit = frontier.best_hit();
+  if (hit == da::sweep::kNoHit) {
+    std::printf("verdict       %s\n",
+                frontier.settled() ? "clean (settled)" : "no hit yet");
+  } else {
+    std::printf("verdict       violation at ordinal %llu%s\n",
+                static_cast<unsigned long long>(hit),
+                frontier.settled() ? " (settled)" : " (candidate)");
+  }
+}
+
+int cmd_run(const std::string& path, int jobs, int max_shards, bool symmetry,
+            bool checkpointing) {
+  da::faults::Frontier frontier = load_or_die(path);
+  da::faults::FrontierRunOptions options;
+  options.jobs = jobs;
+  options.max_shards = max_shards;
+  options.symmetry = symmetry;
+  options.checkpointing = checkpointing;
+  options.checkpoint = [&path](const da::faults::Frontier& snapshot) {
+    // Best-effort incremental checkpoint; the final state is saved below.
+    (void)da::faults::save_frontier(snapshot, path);
+  };
+  const da::faults::FrontierRun run =
+      da::faults::run_behavior_frontier(frontier, options);
+  if (!run.error.empty()) {
+    std::fprintf(stderr, "search_resume: %s\n", run.error.c_str());
+    return 2;
+  }
+  save_or_die(frontier, path);
+  print_status(frontier);
+  if (run.violation.has_value()) {
+    std::printf("violation     %s under %s: %s\n",
+                run.violation->spec.to_string().c_str(),
+                run.violation->adversary.c_str(),
+                run.violation->report.detail.c_str());
+  }
+  return frontier.settled() ? 0 : 1;
+}
+
+int cmd_artifact(const std::string& path, const std::string& out) {
+  da::faults::Frontier frontier = load_or_die(path);
+  if (!frontier.settled()) {
+    std::fprintf(stderr,
+                 "search_resume: frontier not settled; run it to completion "
+                 "(or merge all split parts) first\n");
+    return 1;
+  }
+  frontier.normalize();
+  std::string artifact = serialize_frontier(frontier);
+  const std::uint64_t hit = frontier.best_hit();
+  if (hit == da::sweep::kNoHit) {
+    artifact += "verdict clean\n";
+  } else {
+    const auto violation = da::faults::behavior_at(
+        frontier.config, frontier.max_f, hit);
+    artifact += "verdict violation " + std::to_string(hit) + " " +
+                (violation.has_value() ? violation->adversary : "?") + "\n";
+  }
+  if (out.empty()) {
+    std::fputs(artifact.c_str(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr || std::fputs(artifact.c_str(), f) < 0) {
+    std::fprintf(stderr, "search_resume: cannot write %s\n", out.c_str());
+    if (f != nullptr) std::fclose(f);
+    return 2;
+  }
+  std::fclose(f);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("missing subcommand");
+  const std::string cmd = argv[1];
+  std::string frontier_path;
+  std::string out;
+  std::string out_prefix;
+  std::vector<std::string> positional;
+  int n = 4;
+  int m = 1;
+  int u = 1;
+  int max_f = -1;
+  int seed = 1;
+  int jobs = 1;
+  int parts = 0;
+  int max_shards = -1;
+  bool symmetry = true;
+  bool checkpointing = true;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(arg);
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--frontier") == 0) {
+      frontier_path = value();
+    } else if (std::strcmp(arg, "--out") == 0) {
+      out = value();
+    } else if (std::strcmp(arg, "--out-prefix") == 0) {
+      out_prefix = value();
+    } else if (std::strcmp(arg, "--n") == 0) {
+      n = parse_int(arg, value());
+    } else if (std::strcmp(arg, "--m") == 0) {
+      m = parse_int(arg, value());
+    } else if (std::strcmp(arg, "--u") == 0) {
+      u = parse_int(arg, value());
+    } else if (std::strcmp(arg, "--max-f") == 0) {
+      max_f = parse_int(arg, value());
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      seed = parse_int(arg, value());
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      jobs = parse_int(arg, value());
+    } else if (std::strcmp(arg, "--parts") == 0) {
+      parts = parse_int(arg, value());
+    } else if (std::strcmp(arg, "--max-shards") == 0) {
+      max_shards = parse_int(arg, value());
+    } else if (std::strcmp(arg, "--no-symmetry") == 0) {
+      symmetry = false;
+    } else if (std::strcmp(arg, "--no-checkpointing") == 0) {
+      checkpointing = false;
+    } else if (arg[0] == '-') {
+      usage(arg);
+    } else {
+      positional.emplace_back(arg);
+    }
+  }
+
+  if (cmd == "init") {
+    if (out.empty()) usage("init needs --out");
+    const da::Config config{.n = n, .m = m, .u = u};
+    if (!config.valid() || config.m > 1) usage("invalid config");
+    const da::faults::Frontier frontier = da::faults::init_behavior_frontier(
+        config, max_f, static_cast<std::uint64_t>(seed));
+    save_or_die(frontier, out);
+    print_status(frontier);
+    return 0;
+  }
+  if (cmd == "run") {
+    if (frontier_path.empty()) usage("run needs --frontier");
+    return cmd_run(frontier_path, jobs, max_shards, symmetry, checkpointing);
+  }
+  if (cmd == "status") {
+    if (frontier_path.empty()) usage("status needs --frontier");
+    print_status(load_or_die(frontier_path));
+    return 0;
+  }
+  if (cmd == "split") {
+    if (frontier_path.empty() || parts <= 0 || out_prefix.empty()) {
+      usage("split needs --frontier, --parts and --out-prefix");
+    }
+    const da::faults::Frontier frontier = load_or_die(frontier_path);
+    const std::vector<da::faults::Frontier> split = da::faults::split_frontier(
+        frontier, static_cast<std::size_t>(parts));
+    for (std::size_t i = 0; i < split.size(); ++i) {
+      save_or_die(split[i], out_prefix + std::to_string(i));
+    }
+    std::printf("split %zu shards into %zu parts\n", frontier.shards.size(),
+                split.size());
+    return 0;
+  }
+  if (cmd == "merge") {
+    if (out.empty() || positional.empty()) {
+      usage("merge needs --out and part files");
+    }
+    std::vector<da::faults::Frontier> frontiers;
+    frontiers.reserve(positional.size());
+    for (const std::string& path : positional) {
+      frontiers.push_back(load_or_die(path));
+    }
+    da::faults::FrontierParse merged = da::faults::merge_frontiers(frontiers);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "search_resume: merge: %s\n",
+                   merged.error.c_str());
+      return 2;
+    }
+    save_or_die(*merged.frontier, out);
+    print_status(*merged.frontier);
+    return 0;
+  }
+  if (cmd == "artifact") {
+    if (frontier_path.empty()) usage("artifact needs --frontier");
+    return cmd_artifact(frontier_path, out);
+  }
+  usage("unknown subcommand");
+}

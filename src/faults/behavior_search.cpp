@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "core/byz.hpp"
+#include "faults/canon.hpp"
 #include "obs/metrics.hpp"
 #include "sim/round_engine.hpp"
 #include "sweep/shard.hpp"
@@ -32,6 +36,34 @@ const obs::Counter& rounds_replayed_counter() {
 }
 const obs::Counter& rounds_skipped_counter() {
   static const obs::Counter c("search.rounds_skipped");
+  return c;
+}
+
+// Symmetry-reduction accounting (docs/OBSERVABILITY.md).
+const obs::Counter& canon_representatives_counter() {
+  static const obs::Counter c("search.canon.representatives");
+  return c;
+}
+const obs::Counter& canon_skipped_counter() {
+  static const obs::Counter c("search.canon.skipped");
+  return c;
+}
+const obs::Counter& canon_weight_counter() {
+  static const obs::Counter c("search.canon.weight");
+  return c;
+}
+
+// Frontier-driver accounting.
+const obs::Counter& frontier_runs_counter() {
+  static const obs::Counter c("search.frontier.runs");
+  return c;
+}
+const obs::Counter& frontier_resumed_counter() {
+  static const obs::Counter c("search.frontier.shards_resumed");
+  return c;
+}
+const obs::Counter& frontier_checkpoints_counter() {
+  static const obs::Counter c("search.frontier.checkpoints");
   return c;
 }
 
@@ -131,6 +163,7 @@ std::uint64_t pow_symbols(std::size_t slots) {
 struct Segment {
   ScenarioSpec spec;
   std::vector<std::pair<NodeId, NodeId>> slots;
+  SlotSymmetry sym;
   std::uint64_t base = 0;
   /// Leading slots that are the faulty sender's round-0 broadcast (0 when
   /// the sender is honest). Everything after is a round-1 relay slot.
@@ -149,6 +182,7 @@ std::vector<Segment> build_segments(const Config& config, int limit) {
       seg.spec.faulty = faulty;
       seg.slots = controlled_slots(seg.spec);
       DA_EXPECTS(seg.slots.size() <= 12);  // 4^12 = 16M: keep runs bounded
+      seg.sym = make_slot_symmetry(seg.spec, seg.slots);
       seg.round0_slots = seg.spec.sender_faulty()
                              ? static_cast<std::size_t>(config.n - 1)
                              : 0;
@@ -180,60 +214,118 @@ struct ShardState {
   sim::RunResult result;
 };
 
-}  // namespace
-
-std::optional<Violation> exhaustive_behavior_search(
-    const Config& config, int max_f, const sweep::SweepOptions& options,
-    sweep::SweepStats* stats, bool checkpointing) {
-  DA_EXPECTS(config.valid());
-  DA_EXPECTS(config.m <= 1);  // depth-2 instances only
-  const int limit = max_f < 0 ? config.u : max_f;
-  const DegradableAgreement protocol(config);
-  static const obs::Counter byz_executions("protocol.byz.executions");
-  static const obs::Counter byz_messages("protocol.byz.messages_sent");
-
-  const std::vector<Segment> segments = build_segments(config, limit);
-  sweep::ShardPlan plan;
-  for (const Segment& seg : segments) {
-    plan.append_pow4(seg.slots.size());
+/// One constructed behaviour sweep: segments, shard plan, and the visitor
+/// state shared by the one-shot search and the resumable frontier driver.
+class BehaviorSweep {
+ public:
+  BehaviorSweep(const Config& config, int limit, bool checkpointing,
+                bool symmetry)
+      : checkpointing_(checkpointing),
+        symmetry_(symmetry),
+        protocol_(config),
+        segments_(build_segments(config, limit)) {
+    for (const Segment& seg : segments_) {
+      plan_.append_pow4(seg.slots.size());
+    }
+    candidates_.resize(plan_.shard_count());
+    shard_states_.resize(checkpointing_ ? plan_.shard_count() : 0);
   }
 
-  // Each shard lies inside one segment (append_pow4 never crosses a
-  // segment boundary); candidate violations are stashed per shard.
-  std::vector<std::optional<Violation>> candidates(plan.shard_count());
-  std::vector<ShardState> shard_states(checkpointing ? plan.shard_count() : 0);
-  const auto visitor = [&](std::uint64_t ordinal, std::size_t shard,
-                           Rng&) -> sweep::Visit {
+  [[nodiscard]] const sweep::ShardPlan& plan() const { return plan_; }
+
+  [[nodiscard]] sweep::Visitor visitor() {
+    return [this](std::uint64_t ordinal, std::size_t shard, Rng&) {
+      return visit(ordinal, shard);
+    };
+  }
+
+  [[nodiscard]] const std::optional<Violation>& candidate(
+      std::size_t shard) const {
+    return candidates_[shard];
+  }
+
+  /// Scratch single-ordinal execution (no sweep, no checkpoint state).
+  [[nodiscard]] std::optional<Violation> at(std::uint64_t ordinal) {
+    const Segment& seg = segment_of(ordinal);
+    const std::uint64_t counter = ordinal - seg.base;
+    const std::size_t slots = seg.slots.size();
+    const auto alphabet = alphabet_for(seg.spec.sender_value);
+    TableAdversary adversary(seg.spec.config.n, seg.slots);
+    apply_digits(counter, slots, 0, slots, alphabet,
+                 [&](std::size_t i, Value v) {
+                   adversary.set(seg.slots[i], v);
+                 });
+    const ConditionReport report =
+        protocol_.run_and_check(seg.spec, &adversary);
+    if (report.satisfied) return std::nullopt;
+    return Violation{seg.spec, "behavior#" + std::to_string(counter), report};
+  }
+
+ private:
+  [[nodiscard]] const Segment& segment_of(std::uint64_t ordinal) const {
     const auto seg_it = std::prev(std::upper_bound(
-        segments.begin(), segments.end(), ordinal,
+        segments_.begin(), segments_.end(), ordinal,
         [](std::uint64_t o, const Segment& s) { return o < s.base; }));
-    const Segment& seg = *seg_it;
+    return *seg_it;
+  }
+
+  sweep::Visit visit(std::uint64_t ordinal, std::size_t shard) {
+    static const obs::Counter byz_executions("protocol.byz.executions");
+    static const obs::Counter byz_messages("protocol.byz.messages_sent");
+    const Segment& seg = segment_of(ordinal);
     const std::uint64_t counter = ordinal - seg.base;
     const std::size_t slots = seg.slots.size();
     const auto alphabet = alphabet_for(seg.spec.sender_value);
 
+    std::uint64_t weight = 1;
+    if (symmetry_) {
+      if (!seg.sym.trivial()) {
+        // Non-canonical prefix: leap to the orbit's next representative.
+        // Every ordinal in between shares a "column j > column j+1"
+        // certificate, so nothing executable is skipped.
+        const std::uint64_t canon = next_canonical(seg.sym, counter);
+        if (canon != counter) {
+          canon_skipped_counter().add(canon - counter);
+          sweep::Visit skip;
+          skip.executions = 0;
+          skip.weight = 0;
+          skip.next = seg.base + canon;
+          return skip;
+        }
+        weight = orbit_size(seg.sym, counter);
+      }
+      canon_representatives_counter().add();
+      canon_weight_counter().add(weight);
+    }
+
     const auto report_at = [&](const ConditionReport& report) -> sweep::Visit {
-      if (report.satisfied) return {};
-      candidates[shard] = Violation{
-          seg.spec, "behavior#" + std::to_string(counter), report};
-      return {.hit = true};
+      sweep::Visit out;
+      out.weight = weight;
+      if (!report.satisfied) {
+        candidates_[shard] = Violation{
+            seg.spec, "behavior#" + std::to_string(counter), report};
+        out.hit = true;
+      }
+      return out;
     };
 
-    if (!checkpointing) {
+    if (!checkpointing_) {
       // Scratch path: one full execution, adversary rebuilt per ordinal.
       TableAdversary adversary(seg.spec.config.n, seg.slots);
       apply_digits(counter, slots, 0, slots, alphabet,
                    [&](std::size_t i, Value v) {
                      adversary.set(seg.slots[i], v);
                    });
-      return report_at(protocol.run_and_check(seg.spec, &adversary));
+      return report_at(protocol_.run_and_check(seg.spec, &adversary));
     }
 
     // Checkpoint walk: ordinals inside a shard share their leading base-4
     // digits, i.e. their round-0 assignment, so the post-round-0 state is
     // computed once per leading-digit block and forked for every round-1
     // assignment underneath it (docs/SEARCH.md, "Checkpoint engine").
-    ShardState& st = shard_states[shard];
+    // The symmetry skip composes freely: it only changes *which* ordinals
+    // of the block are visited, not how they replay.
+    ShardState& st = shard_states_[shard];
     if (st.segment != &seg) {
       st.segment = &seg;
       st.adversary =
@@ -242,7 +334,7 @@ std::optional<Violation> exhaustive_behavior_search(
       run_options.faulty = seg.spec.faulty;
       run_options.adversary = st.adversary.get();
       st.engine = std::make_unique<sim::RoundEngine>(
-          core::make_byz_processes(config, seg.spec.sender,
+          core::make_byz_processes(seg.spec.config, seg.spec.sender,
                                    seg.spec.sender_value),
           run_options);
       st.engine->begin();
@@ -288,12 +380,44 @@ std::optional<Violation> exhaustive_behavior_search(
     engine.finish_into(st.result);
     byz_messages.add(st.result.messages_sent);
     return report_at(check_conditions(seg.spec, st.result.decisions));
-  };
+  }
 
-  const sweep::SweepResult result = sweep::run_sweep(plan, options, visitor);
+  bool checkpointing_;
+  bool symmetry_;
+  DegradableAgreement protocol_;
+  std::vector<Segment> segments_;
+  sweep::ShardPlan plan_;
+  std::vector<std::optional<Violation>> candidates_;
+  std::vector<ShardState> shard_states_;
+};
+
+int resolve_limit(const Config& config, int max_f) {
+  return max_f < 0 ? config.u : max_f;
+}
+
+}  // namespace
+
+std::optional<Violation> exhaustive_behavior_search(
+    const Config& config, const BehaviorSearchOptions& options,
+    const sweep::SweepOptions& sweep_options, sweep::SweepStats* stats) {
+  DA_EXPECTS(config.valid());
+  DA_EXPECTS(config.m <= 1);  // depth-2 instances only
+  BehaviorSweep search(config, resolve_limit(config, options.max_f),
+                       options.checkpointing, options.symmetry);
+  const sweep::SweepResult result =
+      sweep::run_sweep(search.plan(), sweep_options, search.visitor());
   if (stats != nullptr) *stats = result.stats;
   if (!result.first_hit_shard.has_value()) return std::nullopt;
-  return candidates[*result.first_hit_shard];
+  return search.candidate(*result.first_hit_shard);
+}
+
+std::optional<Violation> exhaustive_behavior_search(
+    const Config& config, int max_f, const sweep::SweepOptions& options,
+    sweep::SweepStats* stats, bool checkpointing) {
+  BehaviorSearchOptions search_options;
+  search_options.max_f = max_f;
+  search_options.checkpointing = checkpointing;
+  return exhaustive_behavior_search(config, search_options, options, stats);
 }
 
 std::optional<Violation> exhaustive_behavior_search(const Config& config,
@@ -303,7 +427,7 @@ std::optional<Violation> exhaustive_behavior_search(const Config& config,
 
 std::uint64_t behavior_search_space(const Config& config, int max_f) {
   DA_EXPECTS(config.valid());
-  const int limit = max_f < 0 ? config.u : max_f;
+  const int limit = resolve_limit(config, max_f);
   std::uint64_t total = 0;
   for (int f = 1; f <= limit; ++f) {
     for_each_subset(config.n, f, [&](const std::vector<NodeId>& faulty) {
@@ -315,6 +439,164 @@ std::uint64_t behavior_search_space(const Config& config, int max_f) {
     });
   }
   return total;
+}
+
+std::uint64_t behavior_search_canonical_space(const Config& config,
+                                              int max_f) {
+  DA_EXPECTS(config.valid());
+  const int limit = resolve_limit(config, max_f);
+  std::uint64_t total = 0;
+  for (int f = 1; f <= limit; ++f) {
+    for_each_subset(config.n, f, [&](const std::vector<NodeId>& faulty) {
+      ScenarioSpec spec;
+      spec.config = config;
+      spec.sender = 0;
+      spec.faulty = faulty;
+      const auto slots = controlled_slots(spec);
+      total += canonical_count(make_slot_symmetry(spec, slots));
+    });
+  }
+  return total;
+}
+
+std::optional<Violation> behavior_at(const Config& config, int max_f,
+                                     std::uint64_t ordinal) {
+  DA_EXPECTS(config.valid());
+  DA_EXPECTS(config.m <= 1);
+  const int limit = resolve_limit(config, max_f);
+  DA_EXPECTS(ordinal < behavior_search_space(config, limit));
+  BehaviorSweep search(config, limit, /*checkpointing=*/false,
+                       /*symmetry=*/false);
+  return search.at(ordinal);
+}
+
+Frontier init_behavior_frontier(const Config& config, int max_f,
+                                std::uint64_t seed) {
+  DA_EXPECTS(config.valid());
+  DA_EXPECTS(config.m <= 1);
+  const int limit = resolve_limit(config, max_f);
+  BehaviorSweep search(config, limit, /*checkpointing=*/false,
+                       /*symmetry=*/false);
+  Frontier frontier;
+  frontier.config = config;
+  frontier.max_f = limit;  // resolved, so the header is self-contained
+  frontier.seed = seed;
+  frontier.space = behavior_search_space(config, limit);
+  frontier.shards.reserve(search.plan().shard_count());
+  for (std::size_t s = 0; s < search.plan().shard_count(); ++s) {
+    const sweep::ShardRange range = search.plan().shard(s);
+    FrontierShard shard;
+    shard.begin = range.begin;
+    shard.end = range.end;
+    shard.cursor = range.begin;
+    frontier.shards.push_back(shard);
+  }
+  return frontier;
+}
+
+FrontierRun run_behavior_frontier(Frontier& frontier,
+                                  const FrontierRunOptions& options) {
+  const obs::MetricsScope metrics_scope;  // flush driver-side counters
+  FrontierRun run;
+  if (!frontier.config.valid() || frontier.config.m > 1) {
+    run.error = "frontier config is not a depth-2 instance";
+    return run;
+  }
+  const int limit = resolve_limit(frontier.config, frontier.max_f);
+  if (frontier.space != behavior_search_space(frontier.config, limit)) {
+    run.error = "frontier space does not match the search space";
+    return run;
+  }
+  BehaviorSweep search(frontier.config, limit, options.checkpointing,
+                       options.symmetry);
+  const sweep::ShardPlan& plan = search.plan();
+
+  // Map frontier shards onto plan shards (the frontier may be a split
+  // part holding a subset). Foreign shards resume as settled-with-zero
+  // so the sweep never scans them; they are not folded back.
+  constexpr std::size_t kForeign = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> frontier_of(plan.shard_count(), kForeign);
+  sweep::SweepResume resume;
+  resume.shards.resize(plan.shard_count());
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    const sweep::ShardRange range = plan.shard(s);
+    resume.shards[s].begin = range.begin;
+    resume.shards[s].end = range.end;
+    resume.shards[s].cursor = range.end;  // foreign default: skip
+  }
+  {
+    std::size_t s = 0;
+    for (std::size_t i = 0; i < frontier.shards.size(); ++i) {
+      const FrontierShard& shard = frontier.shards[i];
+      while (s < plan.shard_count() && plan.shard(s).begin < shard.begin) {
+        ++s;
+      }
+      if (s >= plan.shard_count() || plan.shard(s).begin != shard.begin ||
+          plan.shard(s).end != shard.end) {
+        run.error = "frontier shards do not match the search's shard plan";
+        return run;
+      }
+      frontier_of[s] = i;
+      resume.shards[s].cursor = shard.cursor;
+      resume.shards[s].executions = shard.executions;
+      resume.shards[s].weighted = shard.weighted;
+      resume.shards[s].first_hit = shard.hit;
+      if (!shard.settled()) frontier_resumed_counter().add();
+    }
+  }
+  frontier_runs_counter().add();
+
+  std::atomic<int> completed{0};
+  std::mutex frontier_mutex;
+  sweep::SweepOptions sweep_options;
+  sweep_options.jobs = options.jobs;
+  sweep_options.seed = frontier.seed;
+  sweep_options.resume = &resume;
+  if (options.max_shards >= 0) {
+    sweep_options.stop = [&completed, max = options.max_shards] {
+      return completed.load(std::memory_order_relaxed) >= max;
+    };
+  }
+  sweep_options.on_shard_done = [&](std::size_t s,
+                                    const sweep::ShardStats& stats) {
+    completed.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t i = frontier_of[s];
+    if (i == kForeign) return;
+    const std::lock_guard<std::mutex> lock(frontier_mutex);
+    frontier.shards[i].cursor = stats.cursor;
+    frontier.shards[i].executions = stats.executions;
+    frontier.shards[i].weighted = stats.weighted;
+    frontier.shards[i].hit = stats.first_hit;
+    frontier_checkpoints_counter().add();
+    if (options.checkpoint) options.checkpoint(frontier);
+  };
+
+  const sweep::SweepResult result =
+      sweep::run_sweep(plan, sweep_options, search.visitor());
+  run.stats = result.stats;
+
+  // Fold every owned shard back (suspended cursors included — the
+  // on_shard_done hook only saw shards that settled this run).
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    const std::size_t i = frontier_of[s];
+    if (i == kForeign) continue;
+    const sweep::ShardStats& stats = result.stats.per_shard[s];
+    frontier.shards[i].cursor = stats.cursor;
+    frontier.shards[i].executions = stats.executions;
+    frontier.shards[i].weighted = stats.weighted;
+    frontier.shards[i].hit = stats.first_hit;
+  }
+
+  const std::uint64_t hit = frontier.best_hit();
+  if (hit != sweep::kNoHit) {
+    run.violation = search.at(hit);
+    DA_ENSURES(run.violation.has_value());
+  }
+  if (frontier.settled()) {
+    frontier.normalize();
+    run.settled = true;
+  }
+  return run;
 }
 
 }  // namespace da::faults

@@ -1,0 +1,204 @@
+#include "faults/canon.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/contracts.hpp"
+
+namespace da::faults {
+
+namespace {
+
+/// Certificate that every completion of the digit prefix ending at `pos`
+/// is non-canonical: the digit at `pos` (column j+1, some row) is smaller
+/// than `needed` (the same row's column-j digit) while the two columns
+/// agree on every earlier row.
+struct Violation {
+  std::size_t pos = SlotSymmetry::npos;
+  std::uint64_t needed = 0;
+};
+
+/// Earliest (most-significant) certificate position, or npos when the
+/// counter is canonical. Scans rows top-down and adjacent column pairs
+/// left-to-right; a pair drops out of contention the first time its
+/// columns differ in the right direction.
+Violation first_violation(const SlotSymmetry& sym, std::uint64_t counter) {
+  Violation out;
+  if (sym.trivial()) return out;
+  // undecided[j]: columns j and j+1 are equal on every row seen so far.
+  std::array<char, SlotSymmetry::kMaxSlots> undecided{};
+  for (std::size_t j = 0; j + 1 < sym.free_count; ++j) undecided[j] = 1;
+  for (std::size_t i = 0; i < sym.rows; ++i) {
+    for (std::size_t j = 0; j + 1 < sym.free_count; ++j) {
+      if (undecided[j] == 0) continue;
+      const std::uint64_t a =
+          behavior_digit(counter, sym.slots, sym.at(i, j));
+      const std::uint64_t b =
+          behavior_digit(counter, sym.slots, sym.at(i, j + 1));
+      if (a == b) continue;
+      if (a < b) {
+        undecided[j] = 0;
+        continue;
+      }
+      // Positions ascend with both i and j, so the first hit in scan
+      // order is the earliest certificate.
+      out.pos = sym.at(i, j + 1);
+      out.needed = a;
+      return out;
+    }
+  }
+  return out;
+}
+
+/// Packs column `rank` into one integer, row 0 most significant — integer
+/// order on packed columns is exactly lexicographic top-down order.
+std::uint32_t pack_column(const SlotSymmetry& sym, std::uint64_t counter,
+                          std::size_t rank) {
+  std::uint32_t key = 0;
+  for (std::size_t i = 0; i < sym.rows; ++i) {
+    key = (key << 2) |
+          static_cast<std::uint32_t>(
+              behavior_digit(counter, sym.slots, sym.at(i, rank)));
+  }
+  return key;
+}
+
+std::uint64_t write_column(const SlotSymmetry& sym, std::uint64_t counter,
+                           std::size_t rank, std::uint32_t key) {
+  for (std::size_t i = sym.rows; i-- > 0;) {
+    const std::size_t slot = sym.at(i, rank);
+    const std::size_t shift = 2 * (sym.slots - 1 - slot);
+    counter = (counter & ~(std::uint64_t{3} << shift)) |
+              (std::uint64_t{key & 3} << shift);
+    key >>= 2;
+  }
+  return counter;
+}
+
+std::uint64_t factorial(std::uint64_t k) {
+  std::uint64_t out = 1;
+  for (std::uint64_t i = 2; i <= k; ++i) out *= i;
+  return out;
+}
+
+}  // namespace
+
+SlotSymmetry make_slot_symmetry(
+    const ScenarioSpec& spec,
+    const std::vector<std::pair<NodeId, NodeId>>& slots) {
+  DA_EXPECTS(slots.size() <= SlotSymmetry::kMaxSlots);
+  SlotSymmetry sym;
+  sym.slots = slots.size();
+  const std::vector<NodeId> free = spec.fault_free_receivers();
+  sym.free_count = free.size();
+
+  // Rows appear as runs of equal `from`; the search emits them grouped.
+  std::vector<NodeId> row_from;
+  for (const auto& [from, to] : slots) {
+    if (row_from.empty() || row_from.back() != from) row_from.push_back(from);
+  }
+  sym.rows = row_from.size();
+  sym.pos.assign(sym.rows * std::max<std::size_t>(sym.free_count, 1),
+                 SlotSymmetry::npos);
+  if (sym.free_count == 0) return sym;
+
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (i > 0 && slots[i].first != slots[i - 1].first) ++row;
+    const auto it = std::lower_bound(free.begin(), free.end(), slots[i].second);
+    if (it == free.end() || *it != slots[i].second) continue;  // faulty dest
+    const auto rank = static_cast<std::size_t>(it - free.begin());
+    sym.pos[row * sym.free_count + rank] = i;
+  }
+  // Every faulty node addresses every free receiver exactly once.
+  for (const std::size_t p : sym.pos) DA_ENSURES(p != SlotSymmetry::npos);
+  return sym;
+}
+
+bool is_canonical(const SlotSymmetry& sym, std::uint64_t counter) {
+  return first_violation(sym, counter).pos == SlotSymmetry::npos;
+}
+
+std::uint64_t canonical_form(const SlotSymmetry& sym, std::uint64_t counter) {
+  if (sym.trivial()) return counter;
+  std::array<std::uint32_t, SlotSymmetry::kMaxSlots> keys{};
+  for (std::size_t j = 0; j < sym.free_count; ++j) {
+    keys[j] = pack_column(sym, counter, j);
+  }
+  std::sort(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(
+                                             sym.free_count));
+  for (std::size_t j = 0; j < sym.free_count; ++j) {
+    counter = write_column(sym, counter, j, keys[j]);
+  }
+  return counter;
+}
+
+std::uint64_t orbit_size(const SlotSymmetry& sym, std::uint64_t counter) {
+  if (sym.trivial()) return 1;
+  std::array<std::uint32_t, SlotSymmetry::kMaxSlots> keys{};
+  for (std::size_t j = 0; j < sym.free_count; ++j) {
+    keys[j] = pack_column(sym, counter, j);
+  }
+  std::sort(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(
+                                             sym.free_count));
+  std::uint64_t orbit = factorial(sym.free_count);
+  std::size_t run = 1;
+  for (std::size_t j = 1; j <= sym.free_count; ++j) {
+    if (j < sym.free_count && keys[j] == keys[j - 1]) {
+      ++run;
+    } else {
+      orbit /= factorial(run);
+      run = 1;
+    }
+  }
+  return orbit;
+}
+
+std::uint64_t next_canonical(const SlotSymmetry& sym, std::uint64_t counter) {
+  for (;;) {
+    const Violation v = first_violation(sym, counter);
+    if (v.pos == SlotSymmetry::npos) return counter;
+    // Raise the offending digit to its left neighbour's value and zero
+    // the tail: everything in between shares the certificate. The new
+    // value is strictly larger (the digit rises by at least one step,
+    // which outweighs any zeroed tail), so the loop terminates.
+    const std::size_t shift = 2 * (sym.slots - 1 - v.pos);
+    const std::uint64_t prefix =
+        counter & ~((std::uint64_t{1} << (shift + 2)) - 1);
+    counter = prefix | (v.needed << shift);
+  }
+}
+
+std::uint64_t canonical_count(const SlotSymmetry& sym) {
+  const std::size_t fixed = sym.slots - sym.rows * sym.free_count;
+  std::uint64_t out = 1;
+  for (std::size_t i = 0; i < fixed; ++i) out *= 4;
+  if (sym.rows == 0 || sym.free_count == 0) return out;
+  // multichoose(4^rows, r) = C(4^rows + r - 1, r), built incrementally so
+  // every intermediate is itself a binomial coefficient (exact division).
+  std::uint64_t columns = 1;
+  for (std::size_t i = 0; i < sym.rows; ++i) columns *= 4;
+  std::uint64_t choose = 1;
+  for (std::uint64_t k = 1; k <= sym.free_count; ++k) {
+    choose = choose * (columns - 1 + k) / k;
+  }
+  return out * choose;
+}
+
+std::uint64_t permute_free_receivers(const SlotSymmetry& sym,
+                                     std::uint64_t counter,
+                                     const std::vector<std::size_t>& perm) {
+  DA_EXPECTS(perm.size() == sym.free_count);
+  if (sym.trivial()) return counter;
+  std::array<std::uint32_t, SlotSymmetry::kMaxSlots> keys{};
+  for (std::size_t j = 0; j < sym.free_count; ++j) {
+    keys[j] = pack_column(sym, counter, j);
+  }
+  std::uint64_t out = counter;
+  for (std::size_t j = 0; j < sym.free_count; ++j) {
+    out = write_column(sym, out, perm[j], keys[j]);
+  }
+  return out;
+}
+
+}  // namespace da::faults

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "util/ids.hpp"
+
+namespace da::faults {
+
+/// Receiver-relabeling symmetry of one behaviour segment.
+///
+/// The behaviour enumeration assigns a base-4 digit to every controlled
+/// slot (from, to). Relabeling the *free* receivers — nodes that are
+/// neither the sender nor faulty — maps each execution to an isomorphic
+/// one: every free receiver runs the same deterministic code on the same
+/// multiset of received values, only its name changes, so verdicts,
+/// decision multisets and condition reports are invariant. Two behaviour
+/// vectors in the same orbit of this action therefore produce the same
+/// verdict, and it suffices to execute one representative per orbit,
+/// weighting it by the orbit size so aggregate counts still reconcile
+/// against the full 4^k space (docs/SEARCH.md §5).
+///
+/// Structure: each faulty node contributes one *row* of slots, and every
+/// row contains exactly one slot per free receiver (free receivers are
+/// never excluded from a faulty node's destination list) plus slots to
+/// other faulty nodes, which the relabeling fixes. The action permutes
+/// the free-receiver *columns* — the per-receiver digit vectors read
+/// top-down through the rows — identically across all rows.
+struct SlotSymmetry {
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+  /// Behaviour counters use 2 bits per slot and segments cap slots at 12,
+  /// so fixed-size scratch arrays of this many entries always suffice.
+  static constexpr std::size_t kMaxSlots = 12;
+
+  std::size_t slots = 0;       ///< total controlled-slot count
+  std::size_t rows = 0;        ///< faulty rows, in slot (= digit) order
+  std::size_t free_count = 0;  ///< free receivers r (columns being permuted)
+  /// pos[row * free_count + rank] = slot index of the slot row sends to
+  /// the rank-th free receiver (ranks ascend with receiver id).
+  std::vector<std::size_t> pos;
+
+  [[nodiscard]] std::size_t at(std::size_t row, std::size_t rank) const {
+    return pos[row * free_count + rank];
+  }
+  /// True when the group is trivial (fewer than two free columns): every
+  /// behaviour is its own canonical representative.
+  [[nodiscard]] bool trivial() const { return free_count < 2 || rows == 0; }
+};
+
+/// Builds the symmetry descriptor for a segment's slot list (the list
+/// produced by the behaviour search for `spec`, rows grouped by faulty
+/// `from` and destinations ascending within each row).
+[[nodiscard]] SlotSymmetry make_slot_symmetry(
+    const ScenarioSpec& spec,
+    const std::vector<std::pair<NodeId, NodeId>>& slots);
+
+/// Big-endian base-4 digit of `counter` at slot index `i` (slot 0 is the
+/// most-significant digit — the convention of the behaviour search).
+[[nodiscard]] inline std::uint64_t behavior_digit(std::uint64_t counter,
+                                                  std::size_t slots,
+                                                  std::size_t i) {
+  return (counter >> (2 * (slots - 1 - i))) & 3;
+}
+
+/// True iff `counter` is the canonical (minimum) member of its orbit:
+/// the free-receiver columns, compared lexicographically top-down, are in
+/// non-decreasing order. Sorting columns minimizes the row-major digit
+/// word by an adjacent-exchange argument, so this *is* the orbit minimum
+/// under the big-endian ordinal order.
+[[nodiscard]] bool is_canonical(const SlotSymmetry& sym, std::uint64_t counter);
+
+/// The canonical representative of `counter`'s orbit (free columns sorted
+/// ascending; digits addressed to faulty nodes untouched). Idempotent.
+[[nodiscard]] std::uint64_t canonical_form(const SlotSymmetry& sym,
+                                           std::uint64_t counter);
+
+/// Orbit size of `counter`'s orbit: r! / prod(multiplicities!) over groups
+/// of equal free columns. Invariant across the orbit.
+[[nodiscard]] std::uint64_t orbit_size(const SlotSymmetry& sym,
+                                       std::uint64_t counter);
+
+/// Smallest canonical counter >= `counter` (identity on canonical input).
+/// Never fails: the all-3s counter is canonical, so a successor always
+/// exists within the segment. Implemented as an iterated prefix jump: the
+/// earliest digit position that completes a "column j > column j+1"
+/// certificate is raised to its left neighbour's digit and the tail is
+/// zeroed — every value skipped over shares the certificate and is
+/// therefore non-canonical.
+[[nodiscard]] std::uint64_t next_canonical(const SlotSymmetry& sym,
+                                           std::uint64_t counter);
+
+/// Number of canonical representatives in the segment: 4^fixed *
+/// multichoose(4^rows, r) — fixed digits are free, and each orbit picks a
+/// sorted multiset of r columns from the 4^rows possible column vectors.
+/// Orbit sizes over all representatives sum back to 4^slots.
+[[nodiscard]] std::uint64_t canonical_count(const SlotSymmetry& sym);
+
+/// Applies a free-receiver relabeling: the column at rank j moves to rank
+/// `perm[j]` (perm must be a permutation of 0..free_count-1). Test helper
+/// for orbit-invariance properties; returns a counter in the same orbit.
+[[nodiscard]] std::uint64_t permute_free_receivers(
+    const SlotSymmetry& sym, std::uint64_t counter,
+    const std::vector<std::size_t>& perm);
+
+}  // namespace da::faults

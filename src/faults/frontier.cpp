@@ -1,0 +1,260 @@
+#include "faults/frontier.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace da::faults {
+
+namespace {
+
+constexpr std::string_view kMagic = "da-frontier";
+constexpr std::string_view kVersion = "v1";
+
+const obs::Counter& saves_counter() {
+  static const obs::Counter c("search.frontier.saves");
+  return c;
+}
+const obs::Counter& loads_counter() {
+  static const obs::Counter c("search.frontier.loads");
+  return c;
+}
+
+FrontierParse fail(std::string error) {
+  FrontierParse out;
+  out.error = std::move(error);
+  return out;
+}
+
+/// Validates shard geometry shared by the parser and the merger: sorted,
+/// in-range, non-overlapping, cursors and hits consistent.
+std::string check_shards(const Frontier& frontier) {
+  std::uint64_t prev_end = 0;
+  for (std::size_t i = 0; i < frontier.shards.size(); ++i) {
+    const FrontierShard& s = frontier.shards[i];
+    if (s.begin >= s.end) return "empty shard range";
+    if (s.end > frontier.space) return "shard beyond space";
+    if (i > 0 && s.begin < prev_end) {
+      return s.begin == frontier.shards[i - 1].begin ? "duplicate shard"
+                                                     : "overlapping shards";
+    }
+    prev_end = s.end;
+    if (s.cursor < s.begin || s.cursor > s.end) return "cursor out of range";
+    if (s.hit != sweep::kNoHit) {
+      if (s.hit < s.begin || s.hit >= s.end) return "hit outside shard";
+      if (s.cursor != s.end) return "hit with unsettled cursor";
+    }
+  }
+  return {};
+}
+
+bool same_header(const Frontier& a, const Frontier& b) {
+  return a.config.n == b.config.n && a.config.m == b.config.m &&
+         a.config.u == b.config.u && a.max_f == b.max_f && a.seed == b.seed &&
+         a.space == b.space;
+}
+
+}  // namespace
+
+std::uint64_t Frontier::best_hit() const {
+  std::uint64_t best = sweep::kNoHit;
+  for (const FrontierShard& s : shards) best = std::min(best, s.hit);
+  return best;
+}
+
+bool Frontier::covers_space() const {
+  std::uint64_t next = 0;
+  for (const FrontierShard& s : shards) {
+    if (s.begin != next) return false;
+    next = s.end;
+  }
+  return next == space && space > 0;
+}
+
+bool Frontier::settled() const {
+  if (!covers_space()) return false;
+  const std::uint64_t hit = best_hit();
+  for (const FrontierShard& s : shards) {
+    if (!s.settled() && s.cursor < hit) return false;
+  }
+  return true;
+}
+
+void Frontier::normalize() {
+  const std::uint64_t hit = best_hit();
+  if (hit == sweep::kNoHit) return;
+  for (FrontierShard& s : shards) {
+    if (s.begin > hit) {
+      s.cursor = s.begin;
+      s.executions = 0;
+      s.weighted = 0;
+      s.hit = sweep::kNoHit;
+    }
+  }
+}
+
+std::string serialize_frontier(const Frontier& frontier) {
+  Frontier sorted = frontier;
+  std::sort(sorted.shards.begin(), sorted.shards.end(),
+            [](const FrontierShard& a, const FrontierShard& b) {
+              return a.begin < b.begin;
+            });
+  std::ostringstream out;
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "config " << sorted.config.n << ' ' << sorted.config.m << ' '
+      << sorted.config.u << ' ' << sorted.max_f << ' ' << sorted.seed << ' '
+      << sorted.space << '\n';
+  for (const FrontierShard& s : sorted.shards) {
+    out << "shard " << s.begin << ' ' << s.end << ' ' << s.cursor << ' '
+        << s.executions << ' ' << s.weighted << ' ';
+    if (s.hit == sweep::kNoHit) {
+      out << '-';
+    } else {
+      out << s.hit;
+    }
+    out << '\n';
+  }
+  out << "end " << sorted.shards.size() << '\n';
+  return out.str();
+}
+
+FrontierParse parse_frontier(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+
+  if (!std::getline(in, line)) return fail("empty frontier");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    std::string version;
+    header >> magic >> version;
+    if (magic != kMagic) return fail("not a frontier file");
+    if (version != kVersion) {
+      return fail("unsupported frontier version: " + version);
+    }
+  }
+
+  Frontier frontier;
+  if (!std::getline(in, line)) return fail("truncated frontier: no config");
+  {
+    std::istringstream config(line);
+    std::string tag;
+    config >> tag >> frontier.config.n >> frontier.config.m >>
+        frontier.config.u >> frontier.max_f >> frontier.seed >>
+        frontier.space;
+    if (tag != "config" || config.fail()) return fail("malformed config line");
+    if (!frontier.config.valid()) return fail("invalid config");
+    if (frontier.space == 0) return fail("empty search space");
+  }
+
+  bool terminated = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream rec(line);
+    std::string tag;
+    rec >> tag;
+    if (tag == "end") {
+      std::size_t count = 0;
+      rec >> count;
+      if (rec.fail() || count != frontier.shards.size()) {
+        return fail("truncated frontier: shard count mismatch");
+      }
+      terminated = true;
+      break;
+    }
+    if (tag != "shard") return fail("unknown record: " + tag);
+    FrontierShard shard;
+    std::string hit;
+    rec >> shard.begin >> shard.end >> shard.cursor >> shard.executions >>
+        shard.weighted >> hit;
+    if (rec.fail()) return fail("malformed shard line");
+    if (hit != "-") {
+      try {
+        std::size_t used = 0;
+        shard.hit = std::stoull(hit, &used);
+        if (used != hit.size()) return fail("malformed shard hit");
+      } catch (const std::exception&) {
+        return fail("malformed shard hit");
+      }
+    }
+    frontier.shards.push_back(shard);
+  }
+  if (!terminated) return fail("truncated frontier: missing end record");
+  if (std::string error = check_shards(frontier); !error.empty()) {
+    return fail(std::move(error));
+  }
+  FrontierParse out;
+  out.frontier = std::move(frontier);
+  return out;
+}
+
+std::vector<Frontier> split_frontier(const Frontier& frontier,
+                                     std::size_t parts) {
+  std::vector<Frontier> out(std::max<std::size_t>(parts, 1));
+  for (Frontier& part : out) {
+    part.config = frontier.config;
+    part.max_f = frontier.max_f;
+    part.seed = frontier.seed;
+    part.space = frontier.space;
+  }
+  for (std::size_t i = 0; i < frontier.shards.size(); ++i) {
+    out[i % out.size()].shards.push_back(frontier.shards[i]);
+  }
+  return out;
+}
+
+FrontierParse merge_frontiers(const std::vector<Frontier>& parts) {
+  if (parts.empty()) return fail("nothing to merge");
+  Frontier merged;
+  merged.config = parts.front().config;
+  merged.max_f = parts.front().max_f;
+  merged.seed = parts.front().seed;
+  merged.space = parts.front().space;
+  for (const Frontier& part : parts) {
+    if (!same_header(part, merged)) return fail("header mismatch");
+    merged.shards.insert(merged.shards.end(), part.shards.begin(),
+                         part.shards.end());
+  }
+  std::sort(merged.shards.begin(), merged.shards.end(),
+            [](const FrontierShard& a, const FrontierShard& b) {
+              return a.begin < b.begin;
+            });
+  if (std::string error = check_shards(merged); !error.empty()) {
+    return fail(std::move(error));
+  }
+  FrontierParse out;
+  out.frontier = std::move(merged);
+  return out;
+}
+
+bool save_frontier(const Frontier& frontier, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << serialize_frontier(frontier);
+    if (!out.flush()) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) return false;
+  const obs::MetricsScope metrics_scope;
+  saves_counter().add();
+  return true;
+}
+
+FrontierParse load_frontier(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return fail("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  FrontierParse out = parse_frontier(text.str());
+  if (out.ok()) {
+    const obs::MetricsScope metrics_scope;
+    loads_counter().add();
+  }
+  return out;
+}
+
+}  // namespace da::faults

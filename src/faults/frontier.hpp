@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "sweep/sweep.hpp"
+
+namespace da::faults {
+
+/// Serialized search frontier: the on-disk form of a suspended (or
+/// finished) exhaustive behaviour sweep. A frontier carries the search's
+/// identity (config, fault limit, seed, total ordinal space) plus one
+/// line per shard with its scan cursor and cumulative counters, so a
+/// killed sweep can resume in a later process — or be split across
+/// several processes and merged back — and still produce an artifact
+/// byte-identical to an uninterrupted run (docs/SEARCH.md §5).
+///
+/// Text format, version 1 (one record per line, space-separated):
+///
+///     da-frontier v1
+///     config <n> <m> <u> <max_f> <seed> <space>
+///     shard <begin> <end> <cursor> <executions> <weighted> <hit|->
+///     ...
+///     end <shard_count>
+///
+/// Shards are sorted by `begin`, must not overlap, and duplicates are
+/// rejected; the `end` trailer guards against truncation. A file may
+/// hold a *subset* of the plan's shards (the unit of distribution for
+/// split/merge) — only a frontier whose shards cover the whole space can
+/// settle a verdict.
+struct FrontierShard {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t cursor = 0;      ///< next unvisited ordinal (== end: settled)
+  std::uint64_t executions = 0;  ///< cumulative representatives executed
+  std::uint64_t weighted = 0;    ///< cumulative orbit-weighted executions
+  std::uint64_t hit = sweep::kNoHit;  ///< shard's first violation ordinal
+
+  [[nodiscard]] bool settled() const { return cursor == end; }
+};
+
+struct Frontier {
+  Config config{};
+  int max_f = -1;
+  std::uint64_t seed = 1;
+  std::uint64_t space = 0;  ///< full (unreduced) ordinal space, 4^k summed
+  std::vector<FrontierShard> shards;  ///< sorted by begin, non-overlapping
+
+  /// Smallest recorded hit ordinal across shards, or sweep::kNoHit.
+  [[nodiscard]] std::uint64_t best_hit() const;
+
+  /// True when the shards tile [0, space) exactly — i.e. this frontier is
+  /// the whole plan, not a split part.
+  [[nodiscard]] bool covers_space() const;
+
+  /// True when the verdict is final: the shards cover the space and every
+  /// shard either scanned to its end or starts at/after the best hit
+  /// (with no hit, that means every shard is complete).
+  [[nodiscard]] bool settled() const;
+
+  /// Discards schedule-dependent progress: once a best hit exists, every
+  /// shard beginning after it is reset to untouched (those scans were
+  /// speculative and depend on worker timing). Shards at or before the
+  /// hit are fully deterministic, so a normalized settled frontier is
+  /// byte-identical for any --jobs value and any interruption pattern.
+  void normalize();
+};
+
+/// Renders the frontier in the v1 text format (shards re-sorted by begin).
+[[nodiscard]] std::string serialize_frontier(const Frontier& frontier);
+
+struct FrontierParse {
+  std::optional<Frontier> frontier;
+  std::string error;  ///< non-empty exactly when frontier is empty
+
+  [[nodiscard]] bool ok() const { return frontier.has_value(); }
+};
+
+/// Strict parser for the v1 format: rejects unknown versions, truncated
+/// files (missing or miscounted `end` trailer), malformed records,
+/// duplicate or overlapping shards, and out-of-range cursors/hits.
+[[nodiscard]] FrontierParse parse_frontier(std::string_view text);
+
+/// Splits a frontier into `parts` frontiers with the same header, dealing
+/// shards round-robin (part i takes shards i, i+parts, ...). Parts with
+/// no shards are still emitted, so merge(split(f)) == f.
+[[nodiscard]] std::vector<Frontier> split_frontier(const Frontier& frontier,
+                                                   std::size_t parts);
+
+/// Merges split parts back together. All parts must agree on the header;
+/// shard sets must be disjoint (a duplicate begin is an error, mirroring
+/// the parser).
+[[nodiscard]] FrontierParse merge_frontiers(
+    const std::vector<Frontier>& parts);
+
+/// Atomically writes the frontier to `path` (tmp file + rename), so a
+/// kill mid-checkpoint never leaves a torn file. Returns false on I/O
+/// failure.
+bool save_frontier(const Frontier& frontier, const std::string& path);
+
+/// Reads and parses a frontier file.
+[[nodiscard]] FrontierParse load_frontier(const std::string& path);
+
+}  // namespace da::faults

@@ -201,6 +201,7 @@ std::optional<Violation> search_violation(
           break;
         }
       }
+      visit.weight = visit.executions;  // no orbit reduction here
       return visit;
     }
 
@@ -261,6 +262,7 @@ std::optional<Violation> search_violation(
         break;
       }
     }
+    visit.weight = visit.executions;  // no orbit reduction here
     return visit;
   };
 

@@ -1,5 +1,6 @@
 #include "sweep/sweep.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <thread>
@@ -27,8 +28,24 @@ SweepResult run_sweep(const ShardPlan& plan, const SweepOptions& options,
   result.stats.jobs = jobs;
   result.stats.shards = plan.shard_count();
   result.stats.per_shard.resize(plan.shard_count());
+  if (options.resume != nullptr) {
+    DA_EXPECTS(options.resume->shards.size() == plan.shard_count());
+    for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+      const ShardResume& saved = options.resume->shards[s];
+      DA_EXPECTS(saved.begin == plan.shard(s).begin);
+      DA_EXPECTS(saved.end == plan.shard(s).end);
+      DA_EXPECTS(saved.cursor >= saved.begin && saved.cursor <= saved.end);
+    }
+  }
 
   Canceller canceller;
+  if (options.resume != nullptr) {
+    // Pre-seed from hits found by earlier runs so cancellation picks up
+    // exactly where the suspended sweep left off.
+    for (const ShardResume& saved : options.resume->shards) {
+      if (saved.first_hit != kNoHit) canceller.report(saved.first_hit);
+    }
+  }
   {
     ThreadPool pool(jobs);
     for (std::size_t s = 0; s < plan.shard_count(); ++s) {
@@ -42,23 +59,44 @@ SweepResult run_sweep(const ShardPlan& plan, const SweepOptions& options,
         ShardStats& stats = result.stats.per_shard[s];
         stats.begin = range.begin;
         stats.end = range.end;
-        if (canceller.cancelled(range.begin)) return;  // stats.worker = -1
+        std::uint64_t o = range.begin;
+        if (options.resume != nullptr) {
+          const ShardResume& saved = options.resume->shards[s];
+          stats.executions = saved.executions;
+          stats.weighted = saved.weighted;
+          stats.first_hit = saved.first_hit;
+          if (saved.first_hit != kNoHit) stats.violations = 1;
+          o = saved.first_hit != kNoHit ? range.end : saved.cursor;
+        }
+        stats.cursor = o;
+        if (o >= range.end) return;  // settled by the resumed-in state
+        if (canceller.cancelled(o)) return;  // stats.worker = -1
+        if (options.stop && options.stop()) return;  // suspended, untouched
         stats.worker = pool.current_worker();
         const auto start = Clock::now();
         Rng rng(mix64(options.seed, range.begin));
-        for (std::uint64_t o = range.begin; o < range.end; ++o) {
+        while (o < range.end) {
           if (canceller.cancelled(o)) break;
+          if (options.stop && options.stop()) break;  // park the cursor
           const Visit visit = visitor(o, s, rng);
           stats.executions += visit.executions;
+          stats.weighted += visit.weight;
           if (visit.hit) {
             ++stats.violations;
+            stats.first_hit = o;
             canceller.report(o);
-            break;  // ascending scan: this is the shard's first hit
+            o = range.end;  // ascending scan: the shard verdict is settled
+            break;
           }
+          o = std::max(o + 1, visit.next);
         }
+        stats.cursor = std::min(o, range.end);
         stats.wall_ms = std::chrono::duration<double, std::milli>(
                             Clock::now() - start)
                             .count();
+        if (stats.cursor == range.end && options.on_shard_done) {
+          options.on_shard_done(s, stats);
+        }
       });
     }
     pool.wait_idle();
@@ -70,10 +108,12 @@ SweepResult run_sweep(const ShardPlan& plan, const SweepOptions& options,
   // to and including the winner yields the canonical serial-early-exit
   // execution count.
   const std::uint64_t best = canceller.best();
+  std::uint64_t performed_weighted = 0;
   std::size_t winner = plan.shard_count();
   for (std::size_t s = 0; s < plan.shard_count(); ++s) {
     const ShardStats& stats = result.stats.per_shard[s];
     result.stats.performed += stats.executions;
+    performed_weighted += stats.weighted;
     result.stats.violations += stats.violations;
     if (winner == plan.shard_count() && best != Canceller::kNone &&
         best >= plan.shard(s).begin && best < plan.shard(s).end) {
@@ -86,9 +126,11 @@ SweepResult run_sweep(const ShardPlan& plan, const SweepOptions& options,
     result.first_hit_shard = winner;
     for (std::size_t s = 0; s <= winner; ++s) {
       result.stats.executions += result.stats.per_shard[s].executions;
+      result.stats.weighted_executions += result.stats.per_shard[s].weighted;
     }
   } else {
     result.stats.executions = result.stats.performed;
+    result.stats.weighted_executions = performed_weighted;
   }
   result.stats.wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - sweep_start)
@@ -98,6 +140,7 @@ SweepResult run_sweep(const ShardPlan& plan, const SweepOptions& options,
   // per-execution sim.* counters were already written by the workers).
   static const obs::Counter sweeps("sweep.sweeps");
   static const obs::Counter executions("sweep.executions");
+  static const obs::Counter weighted("sweep.weighted_executions");
   static const obs::Counter performed("sweep.performed");
   static const obs::Counter violations("sweep.violations");
   static const obs::Counter shards("sweep.shards");
@@ -110,6 +153,7 @@ SweepResult run_sweep(const ShardPlan& plan, const SweepOptions& options,
   const obs::MetricsScope metrics_scope;
   sweeps.add();
   executions.add(result.stats.executions);
+  weighted.add(result.stats.weighted_executions);
   performed.add(result.stats.performed);
   violations.add(result.stats.violations);
   shards.add(result.stats.shards);

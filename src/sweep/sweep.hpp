@@ -12,6 +12,42 @@
 
 namespace da::sweep {
 
+/// Sentinel "no hit yet" ordinal for first-hit fields.
+inline constexpr std::uint64_t kNoHit =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Saved progress of one shard, for suspending a sweep and resuming it
+/// later (possibly in another process — see src/faults/frontier.hpp for
+/// the serialized form). `cursor` is the next unvisited ordinal; a shard
+/// is settled when cursor == end. Counters are cumulative across runs.
+struct ShardResume {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t cursor = 0;
+  std::uint64_t executions = 0;
+  std::uint64_t weighted = 0;
+  std::uint64_t first_hit = kNoHit;
+};
+
+/// Saved progress of a whole sweep, one entry per plan shard, in plan
+/// order (begins/ends must match the plan exactly).
+struct SweepResume {
+  std::vector<ShardResume> shards;
+};
+
+/// Per-shard counters, in shard (= ordinal) order.
+struct ShardStats {
+  std::uint64_t begin = 0;       // first global ordinal of the shard
+  std::uint64_t end = 0;         // one past the last
+  std::uint64_t cursor = 0;      // next unvisited ordinal (end: settled)
+  std::uint64_t executions = 0;  // protocol executions actually performed
+  std::uint64_t weighted = 0;    // orbit-weighted executions (see Visit)
+  std::uint64_t violations = 0;  // hits reported by the visitor
+  std::uint64_t first_hit = kNoHit;  // shard's first hit ordinal, if any
+  double wall_ms = 0.0;          // wall time spent scanning this shard
+  int worker = -1;               // pool worker that ran it (-1: skipped)
+};
+
 /// Knobs for one parallel sweep.
 struct SweepOptions {
   /// Worker threads; <= 0 means std::thread::hardware_concurrency().
@@ -20,16 +56,24 @@ struct SweepOptions {
   /// Rng(mix64(seed, s.begin)) — a pure function of the plan, so streams
   /// are identical for every jobs value).
   std::uint64_t seed = 1;
-};
-
-/// Per-shard counters, in shard (= ordinal) order.
-struct ShardStats {
-  std::uint64_t begin = 0;       // first global ordinal of the shard
-  std::uint64_t end = 0;         // one past the last
-  std::uint64_t executions = 0;  // protocol executions actually performed
-  std::uint64_t violations = 0;  // hits reported by the visitor
-  double wall_ms = 0.0;          // wall time spent scanning this shard
-  int worker = -1;               // pool worker that ran it (-1: skipped)
+  /// Resume from previously saved shard cursors instead of from scratch.
+  /// Settled shards are skipped (their counters carry over verbatim) and
+  /// saved hits pre-seed the canceller. Resuming a shard mid-range
+  /// restarts its RNG stream from the shard head, so mid-shard resume is
+  /// only sound for visitors that ignore `rng` (the behaviour search
+  /// does; the family search checkpoints only at shard boundaries).
+  const SweepResume* resume = nullptr;
+  /// Cooperative suspension: polled (from worker threads — must be
+  /// thread-safe) before each shard and each ordinal; once it returns
+  /// true, in-flight shards park their cursors and queued shards never
+  /// start. Suspended progress is reported via `per_shard` cursors.
+  std::function<bool()> stop;
+  /// Invoked from the owning worker thread each time a shard settles
+  /// (scanned to its end or found its hit) during *this* run — the hook
+  /// for incremental frontier checkpointing. Not called for shards that
+  /// were already settled by a resumed-in state, nor for suspended or
+  /// cancelled shards.
+  std::function<void(std::size_t shard, const ShardStats&)> on_shard_done;
 };
 
 /// Whole-sweep counters.
@@ -39,6 +83,11 @@ struct SweepStats {
   /// executions at ordinals <= the first violation (or the whole space
   /// when there is none). Identical for every jobs value.
   std::uint64_t executions = 0;
+  /// Canonical orbit-weighted execution count, aggregated exactly like
+  /// `executions`. Visitors that skip symmetry orbits report each
+  /// representative's orbit size as its weight, so on a clean (no-hit)
+  /// sweep this reconciles to the full unreduced space.
+  std::uint64_t weighted_executions = 0;
   /// Executions actually performed, including speculative work by shards
   /// that were later cancelled. >= executions; depends on scheduling.
   std::uint64_t performed = 0;
@@ -92,6 +141,16 @@ struct Visit {
   /// Protocol executions this ordinal cost (family search runs a whole
   /// adversary family per scenario ordinal).
   std::uint64_t executions = 1;
+  /// Orbit-weighted cost folded into `weighted` counters. Symmetry-aware
+  /// visitors report the orbit size of an executed representative (and 0
+  /// for skipped ordinals); plain visitors leave the default so weighted
+  /// counts equal unweighted ones.
+  std::uint64_t weight = 1;
+  /// Skip-ahead target: when > ordinal + 1, the scan jumps there next
+  /// (used to leap over non-canonical orbit members without visiting
+  /// them). 0 (the default) means no skip. Jumps are clamped to the
+  /// shard range; a hit always settles the shard regardless.
+  std::uint64_t next = 0;
 };
 using Visitor =
     std::function<Visit(std::uint64_t ordinal, std::size_t shard, Rng& rng)>;

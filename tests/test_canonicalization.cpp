@@ -1,0 +1,393 @@
+// Receiver-relabeling symmetry (faults/canon.hpp): property tests of the
+// canonical form itself against brute force on exhaustively enumerable
+// segments, orbit invariance of real protocol executions for all six
+// protocols, and a corpus-first differential suite pinning the
+// symmetry-reduced behaviour search to the full enumeration — identical
+// verdicts, identical first-hit ordinals, and orbit-weighted execution
+// counts that reconcile exactly against the unreduced 4^k space. Corpus
+// lines in tests/corpus/canonicalization.txt are replayed first; append
+// any config a randomized or field failure flags.
+
+#include "faults/canon.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/byz.hpp"
+#include "core/checker.hpp"
+#include "core/scenario.hpp"
+#include "faults/behavior_search.hpp"
+#include "protocols/authenticated/signatures.hpp"
+#include "protocols/authenticated/sm.hpp"
+#include "protocols/crusader/crusader.hpp"
+#include "protocols/lamport/om.hpp"
+#include "sim/runner.hpp"
+#include "sweep/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace da {
+namespace {
+
+using faults::SlotSymmetry;
+using protocols::authenticated::SignatureAuthority;
+
+// ------------------------------------------------------------- fixtures
+//
+// Mirrors the behaviour search's slot construction (behavior_search.cpp's
+// controlled_slots): a faulty sender broadcasts to everyone else; a faulty
+// non-sender relays to everyone but itself and the sender. Rows ascend
+// with the faulty id, destinations ascend within each row — the layout
+// make_slot_symmetry documents.
+
+std::vector<std::pair<NodeId, NodeId>> slots_for(const ScenarioSpec& spec) {
+  std::vector<std::pair<NodeId, NodeId>> slots;
+  for (NodeId from : spec.faulty) {
+    for (NodeId to = 0; to < spec.config.n; ++to) {
+      if (to == from) continue;
+      if (from != spec.sender && to == spec.sender) continue;
+      slots.emplace_back(from, to);
+    }
+  }
+  return slots;
+}
+
+ScenarioSpec spec_of(int n, std::vector<NodeId> faulty) {
+  ScenarioSpec spec;
+  spec.config = Config{.n = n, .m = 1, .u = static_cast<int>(faulty.size())};
+  spec.sender = 0;
+  spec.sender_value = Value::of(7);
+  spec.faulty = std::move(faulty);
+  return spec;
+}
+
+std::uint64_t pow4(std::size_t k) { return std::uint64_t{1} << (2 * k); }
+
+/// Brute-force orbit of `counter`: every free-column permutation applied
+/// via the header's own permute helper, deduplicated.
+std::vector<std::uint64_t> orbit_of(const SlotSymmetry& sym,
+                                    std::uint64_t counter) {
+  std::vector<std::size_t> perm(sym.free_count);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<std::uint64_t> orbit;
+  do {
+    orbit.push_back(faults::permute_free_receivers(sym, counter, perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  std::sort(orbit.begin(), orbit.end());
+  orbit.erase(std::unique(orbit.begin(), orbit.end()), orbit.end());
+  return orbit;
+}
+
+// ------------------------------------------------ brute-force properties
+
+TEST(CanonProperties, ExhaustiveSegmentsMatchBruteForce) {
+  // Every enumerable segment shape the depth-2 search produces: honest
+  // sender with one or two relay rows, faulty sender alone, and mixed
+  // rows with fixed faulty-to-faulty slots.
+  const std::vector<ScenarioSpec> specs = {
+      spec_of(4, {1}),     // 1 row, free {2,3}
+      spec_of(5, {1}),     // 1 row, free {2,3,4}
+      spec_of(4, {0}),     // faulty sender, free {1,2,3}
+      spec_of(4, {0, 1}),  // 2 rows, fixed slot (0,1), free {2,3}
+      spec_of(5, {1, 2}),  // 2 rows, fixed (1,2) and (2,1), free {3,4}
+  };
+  for (const ScenarioSpec& spec : specs) {
+    SCOPED_TRACE(spec.to_string());
+    const auto slots = slots_for(spec);
+    const SlotSymmetry sym = faults::make_slot_symmetry(spec, slots);
+    ASSERT_FALSE(sym.trivial());
+    const std::uint64_t space = pow4(slots.size());
+
+    std::vector<char> canonical(space, 0);
+    std::uint64_t representatives = 0;
+    std::uint64_t weighted = 0;
+    for (std::uint64_t c = 0; c < space; ++c) {
+      const std::vector<std::uint64_t> orbit = orbit_of(sym, c);
+      const std::uint64_t form = faults::canonical_form(sym, c);
+      EXPECT_EQ(form, orbit.front()) << "canonical_form is not the orbit min";
+      EXPECT_EQ(faults::canonical_form(sym, form), form) << "not idempotent";
+      EXPECT_EQ(faults::is_canonical(sym, c), form == c);
+      EXPECT_EQ(faults::orbit_size(sym, c), orbit.size());
+      canonical[c] = static_cast<char>(form == c);
+      if (form == c) {
+        ++representatives;
+        weighted += orbit.size();
+      }
+    }
+    EXPECT_EQ(representatives, faults::canonical_count(sym));
+    EXPECT_EQ(weighted, space) << "orbit sizes must tile the segment";
+
+    // next_canonical == the linear-scan successor, from every start.
+    std::uint64_t next = space;  // scan high-to-low: nearest canonical >= c
+    for (std::uint64_t c = space; c-- > 0;) {
+      if (canonical[c] != 0) next = c;
+      ASSERT_LT(next, space) << "all-3s counter must be canonical";
+      EXPECT_EQ(faults::next_canonical(sym, c), next) << "at counter " << c;
+    }
+  }
+}
+
+TEST(CanonProperties, TrivialSymmetryIsIdentity) {
+  // Fewer than two free receivers: every behaviour is its own orbit.
+  const ScenarioSpec spec = spec_of(3, {1});
+  const auto slots = slots_for(spec);
+  const SlotSymmetry sym = faults::make_slot_symmetry(spec, slots);
+  EXPECT_TRUE(sym.trivial());
+  const std::uint64_t space = pow4(slots.size());
+  EXPECT_EQ(faults::canonical_count(sym), space);
+  for (std::uint64_t c = 0; c < space; ++c) {
+    EXPECT_TRUE(faults::is_canonical(sym, c));
+    EXPECT_EQ(faults::canonical_form(sym, c), c);
+    EXPECT_EQ(faults::orbit_size(sym, c), 1u);
+    EXPECT_EQ(faults::next_canonical(sym, c), c);
+  }
+}
+
+TEST(CanonProperties, RandomPermutationsPreserveOrbitData) {
+  // Larger segment (7 slots, free_count 3) sampled randomly: the
+  // canonical form and orbit size are invariants of the orbit.
+  const ScenarioSpec spec = spec_of(5, {0, 1});
+  const auto slots = slots_for(spec);
+  const SlotSymmetry sym = faults::make_slot_symmetry(spec, slots);
+  ASSERT_EQ(sym.free_count, 3u);
+  ASSERT_EQ(slots.size(), 7u);
+  Rng rng(0xCA11ull);
+  std::vector<std::size_t> perm(sym.free_count);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t c = rng.below(pow4(slots.size()));
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.shuffle(perm);
+    const std::uint64_t p = faults::permute_free_receivers(sym, c, perm);
+    EXPECT_EQ(faults::canonical_form(sym, p), faults::canonical_form(sym, c))
+        << "counter " << c << " trial " << trial;
+    EXPECT_EQ(faults::orbit_size(sym, p), faults::orbit_size(sym, c));
+  }
+}
+
+// ------------------------------------- orbit invariance, all six protocols
+//
+// The soundness claim behind the reduction: relabeling the fault-free
+// receivers of an execution permutes their decisions and changes nothing
+// else. Checked here against real protocol runs — a behaviour table and a
+// permuted copy must produce the identical governing D.1-D.4 verdict, the
+// identical decisions at the sender and faulty nodes, and the identical
+// *multiset* of decisions across the free receivers.
+
+enum class Proto { kByz, kOm, kCrusader, kSm, kIc, kDic };
+
+/// Plays one behaviour table keyed by (from, to) — the test-local twin of
+/// the search's internal TableAdversary.
+class MapAdversary final : public sim::Adversary {
+ public:
+  explicit MapAdversary(std::map<std::pair<NodeId, NodeId>, Value> table)
+      : table_(std::move(table)) {}
+
+  std::optional<sim::Message> corrupt(const sim::Message& msg) override {
+    const auto it = table_.find({msg.from, msg.to});
+    if (it == table_.end()) return msg;
+    sim::Message out = msg;
+    out.value = it->second;
+    return out;
+  }
+
+ private:
+  std::map<std::pair<NodeId, NodeId>, Value> table_;
+};
+
+std::vector<std::unique_ptr<sim::Process>> processes_for(
+    Proto proto, const ScenarioSpec& spec, const SignatureAuthority& authority) {
+  const Config& cfg = spec.config;
+  switch (proto) {
+    case Proto::kByz:
+    case Proto::kDic:
+      return core::make_byz_processes(cfg, spec.sender, spec.sender_value);
+    case Proto::kOm:
+    case Proto::kIc:
+      return protocols::lamport::make_om_processes(cfg.n, cfg.m, spec.sender,
+                                                   spec.sender_value);
+    case Proto::kCrusader:
+      return protocols::crusader::make_crusader_processes(
+          cfg.n, cfg.m, spec.sender, spec.sender_value);
+    case Proto::kSm:
+      return protocols::authenticated::make_sm_processes(
+          cfg.n, cfg.m, spec.sender, spec.sender_value, authority);
+  }
+  return {};
+}
+
+struct OrbitObservation {
+  std::string verdict;
+  std::vector<std::string> anchored;  // sender + faulty decisions, in order
+  std::vector<std::string> free_multiset;  // free receivers', sorted
+};
+
+OrbitObservation observe(Proto proto, const ScenarioSpec& spec,
+                         const std::vector<std::pair<NodeId, NodeId>>& slots,
+                         std::uint64_t counter,
+                         const SignatureAuthority& authority) {
+  const std::array<Value, 4> alphabet = {spec.sender_value, Value::of(100001),
+                                         Value::of(100002), Value::def()};
+  std::map<std::pair<NodeId, NodeId>, Value> table;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    table[slots[i]] =
+        alphabet[faults::behavior_digit(counter, slots.size(), i)];
+  }
+  MapAdversary adversary(std::move(table));
+  sim::RunOptions options;
+  options.faulty = spec.faulty;
+  options.adversary = &adversary;
+  const sim::RunResult result =
+      sim::SyncRunner(processes_for(proto, spec, authority), std::move(options))
+          .run();
+
+  OrbitObservation obs;
+  const ConditionReport report = check_conditions(spec, result.decisions);
+  obs.verdict = std::string(to_string(report.applied)) +
+                (report.satisfied ? "+" : "-");
+  const std::vector<NodeId> free = spec.fault_free_receivers();
+  for (const auto& [node, value] : result.decisions) {
+    const bool is_free = std::find(free.begin(), free.end(), node) != free.end();
+    if (is_free) {
+      obs.free_multiset.push_back(value.to_string());
+    } else {
+      obs.anchored.push_back(std::to_string(node) + "=" + value.to_string());
+    }
+  }
+  std::sort(obs.free_multiset.begin(), obs.free_multiset.end());
+  return obs;
+}
+
+TEST(CanonOrbitSim, SixProtocolVerdictInvariance) {
+  const std::vector<std::pair<Proto, ScenarioSpec>> cases = {
+      {Proto::kByz, spec_of(4, {1})},      {Proto::kByz, spec_of(4, {0})},
+      {Proto::kOm, spec_of(4, {1})},       {Proto::kCrusader, spec_of(4, {1})},
+      {Proto::kSm, spec_of(4, {1})},       {Proto::kIc, spec_of(4, {1})},
+      {Proto::kDic, spec_of(5, {1, 2})},
+  };
+  for (const auto& [proto, spec] : cases) {
+    SCOPED_TRACE(spec.to_string() + " proto " +
+                 std::to_string(static_cast<int>(proto)));
+    const SignatureAuthority authority(0x51Full, spec.config.n);
+    const auto slots = slots_for(spec);
+    const SlotSymmetry sym = faults::make_slot_symmetry(spec, slots);
+    ASSERT_FALSE(sym.trivial());
+    const std::uint64_t space = pow4(slots.size());
+    // Exhaust small segments; sample large ones on a fixed stride.
+    const std::uint64_t stride = space <= 1024 ? 1 : space / 512;
+    std::vector<std::size_t> perm(sym.free_count);
+    Rng rng(0x0B17ull + static_cast<std::uint64_t>(proto));
+    for (std::uint64_t c = 0; c < space; c += stride) {
+      const OrbitObservation base = observe(proto, spec, slots, c, authority);
+      std::iota(perm.begin(), perm.end(), 0);
+      rng.shuffle(perm);
+      const std::uint64_t image = faults::permute_free_receivers(sym, c, perm);
+      const OrbitObservation moved =
+          observe(proto, spec, slots, image, authority);
+      ASSERT_EQ(base.verdict, moved.verdict) << "counter " << c;
+      ASSERT_EQ(base.anchored, moved.anchored) << "counter " << c;
+      ASSERT_EQ(base.free_multiset, moved.free_multiset) << "counter " << c;
+    }
+  }
+}
+
+// ----------------------------------------- corpus differential, canonical
+// vs full behaviour search
+
+std::uint64_t first_hit_of(const sweep::SweepStats& stats) {
+  std::uint64_t best = sweep::kNoHit;
+  for (const sweep::ShardStats& shard : stats.per_shard) {
+    best = std::min(best, shard.first_hit);
+  }
+  return best;
+}
+
+struct SearchOutcome {
+  std::string adversary;  // "(none)" when clean
+  std::uint64_t first_hit = sweep::kNoHit;
+  sweep::SweepStats stats;
+};
+
+SearchOutcome run_search(const Config& config, bool symmetry, int jobs) {
+  faults::BehaviorSearchOptions options;
+  options.symmetry = symmetry;
+  sweep::SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+  SearchOutcome out;
+  const auto violation = faults::exhaustive_behavior_search(
+      config, options, sweep_options, &out.stats);
+  out.adversary = violation.has_value() ? violation->adversary : "(none)";
+  out.first_hit = first_hit_of(out.stats);
+  return out;
+}
+
+void check_differential(const Config& config) {
+  SCOPED_TRACE(config.to_string());
+  const std::uint64_t space = faults::behavior_search_space(config);
+  const std::uint64_t canonical_space =
+      faults::behavior_search_canonical_space(config);
+  ASSERT_LE(canonical_space, space);
+
+  const SearchOutcome full = run_search(config, /*symmetry=*/false, 1);
+  const SearchOutcome canon = run_search(config, /*symmetry=*/true, 1);
+
+  // The tentpole equivalence: verdict and first-hit ordinal survive the
+  // reduction exactly.
+  EXPECT_EQ(full.adversary, canon.adversary);
+  EXPECT_EQ(full.first_hit, canon.first_hit);
+
+  if (full.first_hit == sweep::kNoHit) {
+    // Clean sweeps reconcile their counts against the whole space: the
+    // full walk executes every ordinal; the canonical walk executes one
+    // representative per orbit but weights it back to the same total.
+    EXPECT_EQ(full.stats.executions, space);
+    EXPECT_EQ(full.stats.weighted_executions, space);
+    EXPECT_EQ(canon.stats.executions, canonical_space);
+    EXPECT_EQ(canon.stats.weighted_executions, space);
+  } else {
+    // Violating sweeps pin the first hit instead: the winning behaviour
+    // rematerializes to the same adversary through the scratch path.
+    const auto replay = faults::behavior_at(config, -1, full.first_hit);
+    ASSERT_TRUE(replay.has_value());
+    EXPECT_EQ(replay->adversary, full.adversary);
+  }
+
+  // Canonical counts are canonical: a different jobs value must not move
+  // the verdict, the hit, or either execution counter.
+  const SearchOutcome wide = run_search(config, /*symmetry=*/true, 3);
+  EXPECT_EQ(canon.adversary, wide.adversary);
+  EXPECT_EQ(canon.first_hit, wide.first_hit);
+  EXPECT_EQ(canon.stats.executions, wide.stats.executions);
+  EXPECT_EQ(canon.stats.weighted_executions, wide.stats.weighted_executions);
+}
+
+TEST(CanonicalizationCorpus, FullVersusCanonicalReplay) {
+  std::ifstream in(std::string(DA_TEST_CORPUS_DIR) + "/canonicalization.txt");
+  ASSERT_TRUE(in.is_open()) << "missing tests/corpus/canonicalization.txt";
+  std::string line;
+  int replayed = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    int n = 0;
+    int m = 0;
+    int u = 0;
+    ASSERT_TRUE(fields >> n >> m >> u) << "bad corpus line: " << line;
+    check_differential(Config{.n = n, .m = m, .u = u});
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 12);  // every cheap (n <= 4, m, u) plus spot checks
+}
+
+}  // namespace
+}  // namespace da

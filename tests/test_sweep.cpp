@@ -309,8 +309,13 @@ TEST(SweepDeterminism, BehaviourSearchVerdictAndCountMatchAcrossJobs) {
         faults::exhaustive_behavior_search(solid, -1, options, &stats)
             .has_value())
         << jobs;
-    // No violation: the canonical count is the whole behaviour space.
-    EXPECT_EQ(stats.executions, faults::behavior_search_space(solid))
+    // No violation: the walk executes exactly the canonical orbit
+    // representatives, and their orbit-weighted sum reconciles to the
+    // whole (unreduced) behaviour space.
+    EXPECT_EQ(stats.executions,
+              faults::behavior_search_canonical_space(solid))
+        << jobs;
+    EXPECT_EQ(stats.weighted_executions, faults::behavior_search_space(solid))
         << jobs;
   }
 }

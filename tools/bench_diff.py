@@ -357,7 +357,53 @@ def self_test() -> int:
         not any("CHANGED" in line for line in lines),
     )
 
-    # 7. Malformed quantile entries are skipped, not fatal.
+    # 7. The symmetry-ablation rows (BM_BehaviorSearchCanonical/<n>/<sym>)
+    # are keyed by their full parameterized name: a regression on one
+    # parameterization flags that row alone, and a baseline that predates
+    # the ablation treats the new rows as ADDED, not as a failure.
+    canonical_rows = {
+        "BM_BehaviorSearchCanonical/5/0": 40.0,
+        "BM_BehaviorSearchCanonical/5/1": 8.0,
+    }
+    status, lines = compare(
+        _report(benchmarks=canonical_rows),
+        _report(
+            benchmarks={
+                "BM_BehaviorSearchCanonical/5/0": 41.0,
+                "BM_BehaviorSearchCanonical/5/1": 16.0,
+            }
+        ),
+        threshold=15.0,
+    )
+    check("canonical-row regression exits 1", status == 1)
+    check(
+        "only the regressed parameterization is flagged",
+        any(
+            "BM_BehaviorSearchCanonical/5/1" in line and "REGRESSION" in line
+            for line in lines
+        )
+        and not any(
+            "BM_BehaviorSearchCanonical/5/0" in line and "REGRESSION" in line
+            for line in lines
+        ),
+    )
+    status, lines = compare(
+        _report(benchmarks={"BM_BehaviorSearch/5/1": 30.0}),
+        _report(
+            benchmarks={"BM_BehaviorSearch/5/1": 30.0, **canonical_rows}
+        ),
+    )
+    check("new canonical rows vs old baseline exit 0", status == 0)
+    check(
+        "new canonical rows print as ADDED",
+        sum(
+            "BM_BehaviorSearchCanonical" in line and "ADDED" in line
+            for line in lines
+        )
+        == 2,
+    )
+
+    # 8. Malformed quantile entries are skipped, not fatal.
     status, _ = compare(
         _report(benchmarks={"BM_A": 1.0}, quantiles={"bad": {"p50": 1.0}}),
         _report(benchmarks={"BM_A": 1.0}, quantiles=base_q),

@@ -32,9 +32,14 @@
 #      every span field named in the ```spans fence of
 #      docs/OBSERVABILITY.md must occur in the emitted JSONL, so the
 #      documented span schema cannot drift from what the service records.
+#  10. with --frontier-check BIN (the built examples/search_resume.cpp),
+#      the ```frontier fence in docs/SEARCH.md is written to a file and
+#      fed to `BIN status --frontier`, so the documented frontier example
+#      cannot drift from the format the real parser accepts.
 #
 # Usage: docs_check.sh [--bench-json FILE] [--plan-check BIN]
-#                      [--service-demo BIN] [--span-check BIN] [repo-root]
+#                      [--service-demo BIN] [--span-check BIN]
+#                      [--frontier-check BIN] [repo-root]
 #        (repo-root defaults to the script's parent dir)
 
 set -u
@@ -42,12 +47,14 @@ bench_json=
 plan_check=
 service_demo=
 span_check=
+frontier_check=
 while :; do
   case ${1:-} in
     --bench-json) bench_json=$2; shift 2 ;;
     --plan-check) plan_check=$2; shift 2 ;;
     --service-demo) service_demo=$2; shift 2 ;;
     --span-check) span_check=$2; shift 2 ;;
+    --frontier-check) frontier_check=$2; shift 2 ;;
     *) break ;;
   esac
 done
@@ -228,6 +235,25 @@ if [ -n "$span_check" ]; then
         grep -q "\"$key\"" "$tmpdir/spandemo/spans.jsonl" || \
           fail "span schema field \`$key\` absent from the demo spans.jsonl"
       done < "$tmpdir/span_keys"
+    fi
+  fi
+fi
+
+# 10. The SEARCH.md example frontier must parse with the real parser.
+if [ -n "$frontier_check" ]; then
+  if [ ! -x "$frontier_check" ]; then
+    fail "--frontier-check: $frontier_check is not executable"
+  elif [ ! -e docs/SEARCH.md ]; then
+    fail "--frontier-check given but docs/SEARCH.md is missing"
+  else
+    awk '/^```frontier$/{grab=1; next} /^```$/{grab=0} grab' docs/SEARCH.md \
+      > "$tmpdir/frontier"
+    if [ ! -s "$tmpdir/frontier" ]; then
+      fail "no \`\`\`frontier fence found in docs/SEARCH.md"
+    elif ! "$frontier_check" status --frontier "$tmpdir/frontier" \
+           > /dev/null 2> "$tmpdir/frontier_err"; then
+      cat "$tmpdir/frontier_err" >&2
+      fail "docs/SEARCH.md example frontier rejected by the parser"
     fi
   fi
 fi
