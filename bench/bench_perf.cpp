@@ -29,6 +29,7 @@
 #include "protocols/common/vote.hpp"
 #include "protocols/crusader/crusader.hpp"
 #include "protocols/ic/interactive_consistency.hpp"
+#include "service/frontend.hpp"
 #include "service/service.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -424,6 +425,68 @@ void BM_ServiceTelemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_ServiceTelemetry)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// The sharded front-end under the same Poisson storm as
+// BM_ServiceThroughput, split across 4 shards behind the hash router.
+// The front-end is constructed once (shards persist, warm slot pools)
+// and re-run per iteration. range(0) = cross-shard drain workers.
+void BM_FrontendThroughput(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  da::service::FrontendConfig config;
+  config.service.arrivals = da::service::ArrivalSpec::poisson(400.0);
+  config.service.offered = 3000;
+  config.service.cap = 512;  // per shard
+  config.service.policy = da::service::OverloadPolicy::kBlock;
+  config.service.seed = 7;
+  config.service.jobs = jobs;
+  config.shards = 4;
+  config.route = da::service::RoutePolicy::kHashJobId;
+  da::service::ServiceFrontend frontend(config);
+  da::service::FrontendResult result;
+  double total_completed = 0.0;
+  for (auto _ : state) {
+    result = frontend.run();
+    total_completed += static_cast<double>(result.completed);
+    benchmark::DoNotOptimize(result.records.data());
+  }
+  state.counters["ips"] =
+      benchmark::Counter(total_completed, benchmark::Counter::kIsRate);
+  state.counters["shards"] = static_cast<double>(result.shards.size());
+  state.counters["ticks"] = static_cast<double>(result.ticks);
+  state.counters["p50"] = result.latency_sketch.quantile(0.50);
+  state.counters["p99"] = result.latency_sketch.quantile(0.99);
+}
+
+// Per-class decision latency under a congested shed-oldest run: the
+// admission queue is class-major, so high-class jobs should post lower
+// queueing delay than low-class ones. range(0) = AdmissionClass.
+void BM_ServiceClassLatency(benchmark::State& state) {
+  const auto cls = static_cast<da::service::AdmissionClass>(state.range(0));
+  da::service::ServiceConfig config;
+  config.arrivals = da::service::ArrivalSpec::poisson(40.0);
+  config.offered = 2000;
+  config.cap = 64;
+  config.queue_cap = 128;
+  config.policy = da::service::OverloadPolicy::kShedOldest;
+  config.seed = 7;
+  da::service::AgreementService svc(config);
+  da::service::ServiceResult result;
+  for (auto _ : state) {
+    result = svc.run();
+    benchmark::DoNotOptimize(result.records.data());
+  }
+  const auto& sketch =
+      result.class_latency[static_cast<std::size_t>(da::service::index_of(cls))];
+  state.SetLabel(da::service::to_string(cls));
+  state.counters["p50"] = sketch.quantile(0.50);
+  state.counters["p99"] = sketch.quantile(0.99);
+  state.counters["count"] = static_cast<double>(sketch.count());
+}
+BENCHMARK(BM_ServiceClassLatency)
+    ->Arg(static_cast<int>(da::service::AdmissionClass::kHigh))
+    ->Arg(static_cast<int>(da::service::AdmissionClass::kNormal))
+    ->Arg(static_cast<int>(da::service::AdmissionClass::kLow))
+    ->Unit(benchmark::kMillisecond);
+
 void register_sweep_benchmarks() {
   auto* behaviour =
       benchmark::RegisterBenchmark("BM_BehaviourSweep", BM_BehaviourSweep);
@@ -431,7 +494,9 @@ void register_sweep_benchmarks() {
                                               BM_FamilySearchSweep);
   auto* service = benchmark::RegisterBenchmark("BM_ServiceThroughput",
                                                BM_ServiceThroughput);
-  for (auto* bench : {behaviour, family, service}) {
+  auto* frontend = benchmark::RegisterBenchmark("BM_FrontendThroughput",
+                                                BM_FrontendThroughput);
+  for (auto* bench : {behaviour, family, service, frontend}) {
     bench->Unit(benchmark::kMillisecond)->Arg(1);
     if (g_jobs > 1) bench->Arg(g_jobs);
   }
@@ -549,6 +614,33 @@ int verify_service_smoke() {
     table.row(da::service::to_string(kind), lone.completed, lone.shed,
               lone.latency_quantile(0.50), lone.latency_quantile(0.99),
               digest, invariant ? "yes" : "MISMATCH");
+  }
+  // The sharded front-end on the same stream: digest, artifact, and the
+  // exact-merged sketch serialization must all survive the jobs split.
+  {
+    da::service::FrontendConfig config;
+    config.service.arrivals = da::service::ArrivalSpec::poisson(20.0);
+    config.service.offered = 200;
+    config.service.cap = 24;
+    config.service.queue_cap = 64;
+    config.service.seed = 7;
+    config.shards = 2;
+    config.service.jobs = 1;
+    const auto lone = da::service::run_frontend(config);
+    config.service.jobs = 2;
+    const auto pair = da::service::run_frontend(config);
+    const bool invariant =
+        lone.digest() == pair.digest() && lone.artifact() == pair.artifact() &&
+        lone.latency_sketch.serialize() == pair.latency_sketch.serialize() &&
+        lone.violations == 0 && pair.violations == 0;
+    if (!invariant) ++mismatches;
+    char digest[24];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  static_cast<unsigned long long>(lone.digest()));
+    table.row("frontend-2sh", lone.completed, lone.shed,
+              lone.latency_sketch.quantile(0.50),
+              lone.latency_sketch.quantile(0.99), digest,
+              invariant ? "yes" : "MISMATCH");
   }
   std::puts("\nService determinism smoke (jobs=1 vs jobs=2):");
   table.print();

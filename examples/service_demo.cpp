@@ -12,6 +12,10 @@
 //     --period P                      virtual time per round tick (1.0)
 //     --seed S                        arrival/mix seed    (1)
 //     --jobs J                        worker threads, 0 = all cores (1)
+//     --shards N                      front-end shards, 1 = plain service (1)
+//     --route hash|least-loaded       front-end routing   (hash)
+//     --deadline T                    admission deadline on every template,
+//                                     in virtual time (0 = none)
 //     --artifact                      dump the per-job artifact lines
 //     --spans-out FILE                record causal spans, write JSONL
 //     --metrics-out FILE              write Prometheus-style exposition
@@ -20,11 +24,13 @@
 //                                     (e.g. "seed 9;drop from=2 to=1")
 //     --inject-every K                inject every K-th job (1)
 //
-// Prints a one-screen summary (throughput, latency quantiles, shed count,
-// determinism digest). Exit status is 0 iff every completed job satisfied
-// its applicable condition (D.1-D.4). docs/SERVICE.md walks through the
-// output; tools/docs_check.sh --service-demo executes that walkthrough.
+// Prints a one-screen summary (throughput, latency quantiles, per-class
+// shed counts, determinism digest; per-shard rows when --shards > 1).
+// Exit status is 0 iff every completed job satisfied its applicable
+// condition (D.1-D.4). docs/SERVICE.md walks through the output;
+// tools/docs_check.sh --service-demo executes that walkthrough.
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +39,7 @@
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/spans.hpp"
+#include "service/frontend.hpp"
 #include "service/service.hpp"
 
 namespace {
@@ -43,6 +50,7 @@ namespace {
                "usage: service_demo [--model poisson|bursty|pareto] "
                "[--rate R] [--offered N] [--cap C] [--queue Q] "
                "[--policy shed|block] [--period P] [--seed S] [--jobs J] "
+               "[--shards N] [--route hash|least-loaded] [--deadline T] "
                "[--artifact] [--spans-out FILE] [--metrics-out FILE] "
                "[--sample-every P] [--inject SPEC] [--inject-every K]\n");
   std::exit(2);
@@ -63,6 +71,9 @@ int main(int argc, char** argv) {
   ServiceConfig config;
   ArrivalKind kind = ArrivalKind::kPoisson;
   double rate = 8.0;
+  int shards = 1;
+  RoutePolicy route = RoutePolicy::kHashJobId;
+  double deadline = 0.0;
   bool dump_artifact = false;
   const char* spans_out = nullptr;
   const char* metrics_out = nullptr;
@@ -105,6 +116,16 @@ int main(int argc, char** argv) {
           std::strtoull(next(), nullptr, 10));
     } else if (std::strcmp(flag, "--jobs") == 0) {
       config.jobs = std::atoi(next());
+    } else if (std::strcmp(flag, "--shards") == 0) {
+      shards = static_cast<int>(
+          parse_positive("--shards expects a positive count", next()));
+    } else if (std::strcmp(flag, "--route") == 0) {
+      const auto parsed = parse_route_policy(next());
+      if (!parsed.has_value()) usage("--route expects hash|least-loaded");
+      route = *parsed;
+    } else if (std::strcmp(flag, "--deadline") == 0) {
+      deadline =
+          parse_positive("--deadline expects a positive number", next());
     } else if (std::strcmp(flag, "--artifact") == 0) {
       dump_artifact = true;
     } else if (std::strcmp(flag, "--spans-out") == 0) {
@@ -149,8 +170,124 @@ int main(int argc, char** argv) {
       break;
   }
 
+  // --deadline rides on the resolved default mix: every template gets the
+  // same relative admission deadline.
+  if (deadline > 0.0) {
+    config.mix = default_mix();
+    for (JobTemplate& tmpl : config.mix) tmpl.deadline = deadline;
+  }
+
+  // Fold the per-job outcomes into one by-class table (offered /
+  // completed / shed / deadline-missed per admission class).
+  struct ClassRow {
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t missed = 0;
+  };
+  std::array<ClassRow, kAdmissionClassCount> by_class{};
+  const auto tally = [&by_class](const std::vector<JobRecord>& records) {
+    for (const JobRecord& rec : records) {
+      ClassRow& row = by_class[static_cast<std::size_t>(index_of(rec.admission))];
+      ++row.offered;
+      if (rec.shed) {
+        ++row.shed;
+        if (rec.deadline_missed) ++row.missed;
+      } else if (rec.completed >= 0.0) {
+        ++row.completed;
+      }
+    }
+  };
+  const auto print_classes = [&by_class] {
+    for (int c = 0; c < kAdmissionClassCount; ++c) {
+      const ClassRow& row = by_class[static_cast<std::size_t>(c)];
+      if (row.offered == 0) continue;
+      std::printf("class      %-6s offered %llu  completed %llu  shed %llu  "
+                  "deadline_missed %llu\n",
+                  to_string(static_cast<AdmissionClass>(c)),
+                  static_cast<unsigned long long>(row.offered),
+                  static_cast<unsigned long long>(row.completed),
+                  static_cast<unsigned long long>(row.shed),
+                  static_cast<unsigned long long>(row.missed));
+    }
+  };
+  const auto write_outputs = [&](const std::vector<da::obs::Span>& spans,
+                                 std::size_t samples) {
+    if (spans_out != nullptr) {
+      if (!da::obs::write_spans_jsonl(spans, spans_out)) {
+        std::fprintf(stderr, "service_demo: cannot write %s\n", spans_out);
+        return false;
+      }
+      std::printf("spans      %zu -> %s\n", spans.size(), spans_out);
+    }
+    if (metrics_out != nullptr) {
+      if (!da::obs::write_exposition(
+              da::obs::MetricsRegistry::global().snapshot(), metrics_out)) {
+        std::fprintf(stderr, "service_demo: cannot write %s\n", metrics_out);
+        return false;
+      }
+      std::printf("metrics    -> %s\n", metrics_out);
+    }
+    if (config.sample_every > 0.0) {
+      std::printf("samples    %zu (every %g time units)\n", samples,
+                  config.sample_every);
+    }
+    return true;
+  };
+
+  if (shards > 1) {
+    // Sharded front-end path: one global arrival stream and tick grid
+    // over N independent service shards.
+    FrontendConfig frontend_config;
+    frontend_config.service = config;
+    frontend_config.shards = shards;
+    frontend_config.route = route;
+    ServiceFrontend frontend(frontend_config);
+    const FrontendResult result = frontend.run();
+    tally(result.records);
+
+    std::printf("frontend: %s  shards=%d route=%s cap=%d queue=%zu "
+                "policy=%s period=%g seed=%llu jobs=%d\n",
+                config.arrivals.to_string().c_str(), shards,
+                to_string(route), config.cap, config.queue_cap,
+                to_string(config.policy), config.round_period,
+                static_cast<unsigned long long>(config.seed), config.jobs);
+    std::printf("offered    %llu jobs\n",
+                static_cast<unsigned long long>(config.offered));
+    std::printf("completed  %llu   shed %llu   deadline_missed %llu   "
+                "violations %llu\n",
+                static_cast<unsigned long long>(result.completed),
+                static_cast<unsigned long long>(result.shed),
+                static_cast<unsigned long long>(result.deadline_missed),
+                static_cast<unsigned long long>(result.violations));
+    std::printf("makespan   %.3f time units over %llu ticks  (%.1f ms wall)\n",
+                result.makespan, static_cast<unsigned long long>(result.ticks),
+                result.wall_ms);
+    std::printf("throughput %.3f jobs/time unit\n", result.throughput());
+    std::printf("latency    p50 %.3f  p90 %.3f  p99 %.3f time units\n",
+                result.latency_sketch.quantile(0.50),
+                result.latency_sketch.quantile(0.90),
+                result.latency_sketch.quantile(0.99));
+    print_classes();
+    for (std::size_t s = 0; s < result.shards.size(); ++s) {
+      const FrontendShardSummary& shard = result.shards[s];
+      std::printf("shard      %zu offered %llu  completed %llu  shed %llu  "
+                  "peak_active %d\n",
+                  s, static_cast<unsigned long long>(shard.offered),
+                  static_cast<unsigned long long>(shard.completed),
+                  static_cast<unsigned long long>(shard.shed),
+                  shard.peak_active);
+    }
+    std::printf("digest     %016llx\n",
+                static_cast<unsigned long long>(result.digest()));
+    if (dump_artifact) std::fputs(result.artifact().c_str(), stdout);
+    if (!write_outputs(result.spans, result.samples.size())) return 1;
+    return result.violations == 0 ? 0 : 1;
+  }
+
   AgreementService svc(config);
   const ServiceResult result = svc.run();
+  tally(result.records);
 
   std::printf("service: %s  cap=%d queue=%zu policy=%s period=%g seed=%llu "
               "jobs=%d\n",
@@ -159,9 +296,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(config.seed), config.jobs);
   std::printf("offered    %llu jobs\n",
               static_cast<unsigned long long>(config.offered));
-  std::printf("completed  %llu   shed %llu   violations %llu\n",
+  std::printf("completed  %llu   shed %llu   deadline_missed %llu   "
+              "violations %llu\n",
               static_cast<unsigned long long>(result.completed),
               static_cast<unsigned long long>(result.shed),
+              static_cast<unsigned long long>(result.deadline_missed),
               static_cast<unsigned long long>(result.violations));
   std::printf("makespan   %.3f time units over %llu ticks  (%.1f ms wall)\n",
               result.makespan, static_cast<unsigned long long>(result.ticks),
@@ -171,32 +310,14 @@ int main(int argc, char** argv) {
   std::printf("latency    p50 %.3f  p90 %.3f  p99 %.3f time units\n",
               result.latency_quantile(0.50), result.latency_quantile(0.90),
               result.latency_quantile(0.99));
+  print_classes();
   std::printf("slots      created %llu  reused %llu\n",
               static_cast<unsigned long long>(svc.slots_created()),
               static_cast<unsigned long long>(svc.slot_reuses()));
   std::printf("digest     %016llx\n",
               static_cast<unsigned long long>(result.digest()));
   if (dump_artifact) std::fputs(result.artifact().c_str(), stdout);
-
-  if (spans_out != nullptr) {
-    if (!da::obs::write_spans_jsonl(result.spans, spans_out)) {
-      std::fprintf(stderr, "service_demo: cannot write %s\n", spans_out);
-      return 1;
-    }
-    std::printf("spans      %zu -> %s\n", result.spans.size(), spans_out);
-  }
-  if (metrics_out != nullptr) {
-    if (!da::obs::write_exposition(
-            da::obs::MetricsRegistry::global().snapshot(), metrics_out)) {
-      std::fprintf(stderr, "service_demo: cannot write %s\n", metrics_out);
-      return 1;
-    }
-    std::printf("metrics    -> %s\n", metrics_out);
-  }
-  if (config.sample_every > 0.0) {
-    std::printf("samples    %zu (every %g time units)\n",
-                result.samples.size(), config.sample_every);
-  }
+  if (!write_outputs(result.spans, result.samples.size())) return 1;
 
   return result.violations == 0 ? 0 : 1;
 }

@@ -27,6 +27,11 @@ std::shared_ptr<const protocols::Resolver> byz_resolver(int m) {
 std::vector<std::unique_ptr<sim::Process>> make_byz_processes(
     const Config& config, NodeId sender, Value value) {
   DA_EXPECTS(config.valid());
+  // Engine boundary: a well-formed config below the EIG floor (n < 2m+1,
+  // e.g. n=2, m=1) would only abort rounds later, when the deepest
+  // resolve level finds its VOTE quorum alpha = n - 2m empty. Refuse it
+  // here with a typed, recoverable rejection instead.
+  if (!config.engine_runnable()) throw UnsupportedConfig(config);
   return protocols::make_eig_processes(config.n, sender, value,
                                        byz_depth(config.m),
                                        byz_resolver(config.m));

@@ -11,6 +11,13 @@ std::string Config::to_string() const {
          std::to_string(n);
 }
 
+UnsupportedConfig::UnsupportedConfig(const Config& config)
+    : std::invalid_argument(
+          "unsupported config: " + config.to_string() +
+          " needs n >= 2m+1 = " + std::to_string(2 * config.m + 1) +
+          " for the engine's deepest VOTE quorum to be non-empty"),
+      config_(config) {}
+
 bool ScenarioSpec::sender_faulty() const { return is_faulty(sender); }
 
 bool ScenarioSpec::is_faulty(NodeId id) const {

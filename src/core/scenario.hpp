@@ -1,5 +1,6 @@
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,7 +29,37 @@ struct Config {
     return n >= 2 && m >= 0 && u >= m && u < n;
   }
 
+  /// Whether the EIG engine family can *execute* this config at all:
+  /// the deepest resolve level works with subtrees over n - (m-1) nodes
+  /// and needs its VOTE quorum alpha = n - 2m to stay positive, so
+  /// n >= 2m+1. This is strictly weaker than `feasible()` — configs in
+  /// [2m+1, 2m+u] are infeasible (Theorem 2) yet still runnable, which
+  /// the lower-bound experiments rely on — but below it the engine
+  /// cannot even be constructed (e.g. n=2, m=1). Execution boundaries
+  /// throw `UnsupportedConfig` on violation; `valid()` deliberately
+  /// does not fold this in so bounds code can still *describe* such
+  /// configs.
+  [[nodiscard]] bool engine_runnable() const { return n >= 2 * m + 1; }
+
   [[nodiscard]] std::string to_string() const;
+};
+
+/// Structured rejection for well-formed configs the EIG-based agreement
+/// engine cannot execute (`Config::engine_runnable()` fails). Thrown by
+/// `core::make_byz_processes` and the service admission boundary so
+/// callers can distinguish "you asked for the impossible" from plain
+/// contract bugs, and can recover the offending config. Deliberately not
+/// part of `ScenarioSpec::validate()`: specs are protocol-agnostic, and
+/// the non-EIG protocols (SM, OM's majority resolve, crusader) run
+/// configs below the EIG floor just fine.
+class UnsupportedConfig : public std::invalid_argument {
+ public:
+  explicit UnsupportedConfig(const Config& config);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
 };
 
 /// One concrete execution: who sends what, and who is Byzantine.

@@ -85,6 +85,10 @@ ArrivalGenerator::ArrivalGenerator(ArrivalSpec spec, std::uint64_t seed)
   DA_EXPECTS(spec_.rate > 0.0);
   if (spec_.kind == ArrivalKind::kBursty) {
     DA_EXPECTS(spec_.burst_rate > 0.0 && spec_.on_period > 0.0);
+    // The stream opens in the ON state (`on_` defaults true): the first
+    // phase boundary is an ON-phase end drawn with the ON mean, so
+    // arrivals start at `burst_rate` from t=0 rather than behind an
+    // initial silence. Pinned by Arrivals.BurstyOpensInTheOnState.
     phase_end_ = exponential(spec_.on_period);
   } else if (spec_.kind == ArrivalKind::kPareto) {
     // Mean of the bounded Pareto on [1, cap] with tail index alpha != 1:

@@ -81,6 +81,19 @@ class ArrivalGenerator {
 
   [[nodiscard]] const ArrivalSpec& spec() const { return spec_; }
 
+  /// Phase-machine introspection for kBursty (meaningless for the other
+  /// kinds): whether the generator currently sits in an ON phase, and the
+  /// absolute end time of that phase. The stream *opens ON at t=0* — the
+  /// constructor draws the first phase end from `on_period` with
+  /// `on_ == true`, so the very first arrivals come at `burst_rate`, not
+  /// after an OFF-length silence. `tests/test_service.cpp` pins both the
+  /// opening state and the no-arrival-inside-an-OFF-phase invariant
+  /// through these accessors.
+  [[nodiscard]] bool bursty_on() const { return on_; }
+  [[nodiscard]] double bursty_phase_end() const { return phase_end_; }
+  /// Absolute time of the most recent arrival (0 before the first).
+  [[nodiscard]] double now() const { return now_; }
+
  private:
   [[nodiscard]] double exponential(double mean);
   [[nodiscard]] double bounded_pareto_gap();

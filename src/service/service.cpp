@@ -36,6 +36,10 @@ const obs::Counter& shed_counter() {
   static const obs::Counter c("service.shed");
   return c;
 }
+const obs::Counter& deadline_missed_counter() {
+  static const obs::Counter c("service.deadline_missed");
+  return c;
+}
 const obs::Counter& instances_counter() {
   static const obs::Counter c("service.instances_completed");
   return c;
@@ -56,6 +60,29 @@ const obs::Counter& rounds_driven_counter() {
   static const obs::Counter c("service.rounds_driven");
   return c;
 }
+// Per-class slices of the lifecycle counters ("service.<class>.*" in the
+// catalogue, docs/OBSERVABILITY.md): one static handle per class, indexed
+// by the enum.
+const obs::Counter& class_completed_counter(AdmissionClass cls) {
+  static const obs::Counter c[kAdmissionClassCount] = {
+      obs::Counter("service.high.completed"),
+      obs::Counter("service.normal.completed"),
+      obs::Counter("service.low.completed")};
+  return c[static_cast<std::size_t>(index_of(cls))];
+}
+const obs::Counter& class_shed_counter(AdmissionClass cls) {
+  static const obs::Counter c[kAdmissionClassCount] = {
+      obs::Counter("service.high.shed"), obs::Counter("service.normal.shed"),
+      obs::Counter("service.low.shed")};
+  return c[static_cast<std::size_t>(index_of(cls))];
+}
+const obs::Counter& class_deadline_counter(AdmissionClass cls) {
+  static const obs::Counter c[kAdmissionClassCount] = {
+      obs::Counter("service.high.deadline_missed"),
+      obs::Counter("service.normal.deadline_missed"),
+      obs::Counter("service.low.deadline_missed")};
+  return c[static_cast<std::size_t>(index_of(cls))];
+}
 // Latency-shaped metrics use quantile sketches (p50/p90/p99/p999 in the
 // registry snapshot) rather than the power-of-two histograms: virtual-time
 // latencies cluster within a few octaves, where 2.2%-relative-error
@@ -67,6 +94,20 @@ const obs::Quantile& decision_latency_quantile() {
 const obs::Quantile& queue_wait_quantile() {
   static const obs::Quantile q("service.queue_wait");
   return q;
+}
+const obs::Quantile& class_latency_quantile(AdmissionClass cls) {
+  static const obs::Quantile q[kAdmissionClassCount] = {
+      obs::Quantile("service.high.decision_latency"),
+      obs::Quantile("service.normal.decision_latency"),
+      obs::Quantile("service.low.decision_latency")};
+  return q[static_cast<std::size_t>(index_of(cls))];
+}
+const obs::Quantile& class_queue_wait_quantile(AdmissionClass cls) {
+  static const obs::Quantile q[kAdmissionClassCount] = {
+      obs::Quantile("service.high.queue_wait"),
+      obs::Quantile("service.normal.queue_wait"),
+      obs::Quantile("service.low.queue_wait")};
+  return q[static_cast<std::size_t>(index_of(cls))];
 }
 const obs::Histogram& tick_ms_histogram() {
   static const obs::Histogram h("service.tick_ms");
@@ -168,10 +209,11 @@ const char* to_string(OverloadPolicy policy) {
 }
 
 std::string JobTemplate::to_string() const {
-  char buf[96];
-  std::snprintf(buf, sizeof buf, "%s n=%d m=%d u=%d sender=%d f=%zu",
+  char buf[112];
+  std::snprintf(buf, sizeof buf, "%s n=%d m=%d u=%d sender=%d f=%zu class=%s",
                 service::to_string(kind), config.n, config.m, config.u,
-                static_cast<int>(sender), faulty.size());
+                static_cast<int>(sender), faulty.size(),
+                service::to_string(admission));
   return buf;
 }
 
@@ -179,17 +221,27 @@ std::vector<JobTemplate> default_mix() {
   std::vector<JobTemplate> mix;
   // Degraded-range BYZ (f = 2 > m = 1): exercises D.3.
   mix.push_back({JobKind::kByz, Config{.n = 7, .m = 1, .u = 4}, 0,
-                 Value::of(17), {2, 3}});
-  // Minimal feasible BYZ (f = 1 = m): exercises D.1.
+                 Value::of(17), {2, 3}, AdmissionClass::kNormal, 0.0});
+  // Minimal feasible BYZ (f = 1 = m): exercises D.1; rides first class.
   mix.push_back({JobKind::kByz, Config{.n = 4, .m = 1, .u = 1}, 0,
-                 Value::of(17), {1}});
-  // Exact-range BYZ at m = 2 (3 rounds, the heavy shape).
+                 Value::of(17), {1}, AdmissionClass::kHigh, 0.0});
+  // Exact-range BYZ at m = 2 (3 rounds, the heavy shape): best effort.
   mix.push_back({JobKind::kByz, Config{.n = 7, .m = 2, .u = 2}, 0,
-                 Value::of(17), {1, 2}});
+                 Value::of(17), {1, 2}, AdmissionClass::kLow, 0.0});
   // Interactive consistency: 4 parallel OM(1) coordinates per job.
   mix.push_back({JobKind::kIc, Config{.n = 4, .m = 1, .u = 1}, 0,
-                 Value::of(17), {3}});
+                 Value::of(17), {3}, AdmissionClass::kNormal, 0.0});
   return mix;
+}
+
+int draw_template_index(std::uint64_t seed, std::uint64_t id,
+                        std::size_t mix_size) {
+  return static_cast<int>(mix64(seed, mix64(id, 0x70)) % mix_size);
+}
+
+int draw_adversary_index(std::uint64_t seed, std::uint64_t id,
+                         std::size_t adversary_count) {
+  return static_cast<int>(mix64(seed, mix64(id, 0xad)) % adversary_count);
 }
 
 /// One recyclable scenario shape: everything needed to stamp out (or
@@ -219,7 +271,7 @@ struct AgreementService::Shape {
 /// allocator.
 struct AgreementService::InstanceSlot {
   int shape_index = 0;
-  std::uint64_t job_id = 0;
+  std::uint64_t job_id = 0;  // local job index (records_[job_id].id = global)
   int sub = 0;  // coordinate index within the job (0 for kByz)
   sim::RoundEngine engine;
   /// Per-slot fault transport, constructed lazily on the first injected
@@ -272,6 +324,10 @@ void AgreementService::build_shapes() {
   for (std::size_t t = 0; t < mix_.size(); ++t) {
     const JobTemplate& tmpl = mix_[t];
     DA_EXPECTS(tmpl.config.valid());
+    // The structured admission-boundary rejection: a well-formed config
+    // the engine cannot execute (e.g. n=2, m=1) is refused here, not by
+    // a contract failure rounds deep in EIG setup.
+    if (!tmpl.config.engine_runnable()) throw UnsupportedConfig(tmpl.config);
     const int width =
         tmpl.kind == JobKind::kIc ? tmpl.config.n : 1;
     DA_EXPECTS(width <= config_.cap);  // a wider job could never admit
@@ -331,18 +387,18 @@ void AgreementService::release_slot(InstanceSlot* slot) {
   free_slots_[static_cast<std::size_t>(slot->shape_index)].push_back(slot);
 }
 
-bool AgreementService::try_admit(std::uint64_t job_id, double now) {
-  JobRecord& rec = records_[job_id];
+bool AgreementService::try_admit(std::uint64_t local, double now) {
+  JobRecord& rec = records_[local];
   const auto& shape_ids =
       template_shapes_[static_cast<std::size_t>(rec.template_index)];
   const int width = static_cast<int>(shape_ids.size());
   if (active_width_ + width > config_.cap) return false;
-  const bool inject = inject_enabled_ && job_injected(job_id);
+  const bool inject = inject_enabled_ && job_injected(rec.id);
   for (int sub = 0; sub < width; ++sub) {
     const int shape_index = shape_ids[static_cast<std::size_t>(sub)];
     InstanceSlot* slot = acquire_slot(shape_index);
     const Shape& shape = *shapes_[static_cast<std::size_t>(shape_index)];
-    slot->job_id = job_id;
+    slot->job_id = local;
     slot->sub = sub;
     slot->engine.restore(shape.start);
     slot->engine.set_adversary(
@@ -351,15 +407,16 @@ bool AgreementService::try_admit(std::uint64_t job_id, double now) {
             : adversaries_[static_cast<std::size_t>(rec.adversary_index)]
                   .get());
     // Fault transport: selected jobs route every dispatch through a
-    // per-slot injection network re-seeded per job. Sound for the same
-    // reason set_adversary is — the restore boundary precedes every
-    // dispatch of this instance.
+    // per-slot injection network re-seeded per job (by *global* id, so
+    // the fault pattern is invariant under front-end sharding). Sound
+    // for the same reason set_adversary is — the restore boundary
+    // precedes every dispatch of this instance.
     if (inject) {
       if (slot->net == nullptr) {
         slot->net =
             std::make_unique<inject::InjectionNetwork>(config_.fault_plan);
       }
-      slot->net->reseed(mix64(config_.fault_plan.seed, mix64(job_id, 0x1f)));
+      slot->net->reseed(mix64(config_.fault_plan.seed, mix64(rec.id, 0x1f)));
       slot->net->reset_stats();
       slot->engine.set_network(slot->net.get());
       slot->injected = true;
@@ -376,29 +433,71 @@ bool AgreementService::try_admit(std::uint64_t job_id, double now) {
     active_.push_back(slot);
   }
   active_width_ += width;
-  jobs_[job_id].remaining_subs = width;
+  peak_active_ = std::max(peak_active_, active_width_);
+  jobs_[local].remaining_subs = width;
   rec.admitted = now;
   admitted_counter().add();
   queue_wait_quantile().record(rec.queue_wait());
+  class_queue_wait_quantile(rec.admission).record(rec.queue_wait());
   queue_sketch_.record(rec.queue_wait());
   if (recording_) {
     obs::Span span;
     span.name = "queue";
-    span.job = static_cast<std::int64_t>(job_id);
+    span.job = static_cast<std::int64_t>(rec.id);
     span.t0 = rec.arrival;
     span.t1 = now;
-    span.parent = job_span_id(job_id);
+    span.parent = job_span_id(rec.id);
     span.tags.emplace_back("width", width);
+    span.tags.emplace_back("class", index_of(rec.admission));
     spans_.push_back(std::move(span));
   }
   return true;
 }
 
+void AgreementService::shed_job(std::uint64_t local, double at,
+                                bool deadline_missed) {
+  JobRecord& rec = records_[local];
+  rec.shed = true;
+  rec.deadline_missed = deadline_missed;
+  rec.applied = Condition::kNone;
+  rec.shed_at = at;
+  ++finished_this_run_;
+  ++shed_so_far_;
+  shed_counter().add();
+  class_shed_counter(rec.admission).add();
+  if (deadline_missed) {
+    ++deadline_missed_so_far_;
+    deadline_missed_counter().add();
+    class_deadline_counter(rec.admission).add();
+  }
+  if (recording_) {
+    obs::Span span;
+    span.name = "job";
+    span.job = static_cast<std::int64_t>(rec.id);
+    span.t0 = rec.arrival;
+    span.t1 = at;
+    span.tags.emplace_back("tmpl", rec.template_index);
+    span.tags.emplace_back("adv", rec.adversary_index);
+    span.tags.emplace_back("class", index_of(rec.admission));
+    span.tags.emplace_back(deadline_missed ? "deadline" : "shed", 1);
+    spans_.push_back(std::move(span));
+  }
+}
+
+void AgreementService::expire_deadlines(double now) {
+  // Strictly-before semantics: a job whose deadline falls exactly on an
+  // event instant may still be admitted at that instant.
+  admission_.expire(now, [this](AdmissionClass, const QueuedJob& victim) {
+    shed_job(victim.job, victim.deadline_at, /*deadline_missed=*/true);
+  });
+}
+
 void AgreementService::drain_queue(double now) {
-  // FIFO head-of-line: later (possibly narrower) jobs never overtake the
-  // head — admission order is part of the determinism contract.
-  while (!queue_.empty() && try_admit(queue_.front(), now)) {
-    queue_.pop_front();
+  // Class-major head-of-line: the oldest job of the highest occupied
+  // class admits first, and a blocked head blocks everything behind it —
+  // admission order is part of the determinism contract.
+  while (!admission_.empty() && try_admit(admission_.front().job, now)) {
+    admission_.pop_front();
   }
 }
 
@@ -422,11 +521,11 @@ void AgreementService::complete_sub_instance(InstanceSlot& slot, double now) {
   if (recording_) {
     obs::Span inst;
     inst.name = "inst";
-    inst.job = static_cast<std::int64_t>(slot.job_id);
+    inst.job = static_cast<std::int64_t>(rec.id);
     inst.sub = slot.sub;
     inst.t0 = slot.admitted_at;
     inst.t1 = now;
-    inst.parent = job_span_id(slot.job_id);
+    inst.parent = job_span_id(rec.id);
     inst.tags.emplace_back("rounds", shape.rounds);
     if (slot.injected) {
       add_injection_tags(inst.tags, slot.net->stats(), nullptr);
@@ -438,25 +537,33 @@ void AgreementService::complete_sub_instance(InstanceSlot& slot, double now) {
     rec.completed = now;
     ++finished_this_run_;
     ++completed_so_far_;
-    // Recorded at completion (not in the end-of-run fold) so periodic
-    // samples can report running latency quantiles.
+    ++completed_by_class_[static_cast<std::size_t>(index_of(rec.admission))];
+    // Counted and recorded at completion time (not in the end-of-run
+    // fold) so mid-run registry snapshots, periodic samples and the
+    // `service.completed` counter all agree at every instant.
+    completed_counter().add();
+    class_completed_counter(rec.admission).add();
     decision_latency_quantile().record(rec.latency());
+    class_latency_quantile(rec.admission).record(rec.latency());
     latency_sketch_.record(rec.latency());
+    class_latency_[static_cast<std::size_t>(index_of(rec.admission))].record(
+        rec.latency());
     if (recording_) {
       obs::Span job_span;
       job_span.name = "job";
-      job_span.job = static_cast<std::int64_t>(slot.job_id);
+      job_span.job = static_cast<std::int64_t>(rec.id);
       job_span.t0 = rec.arrival;
       job_span.t1 = now;
       job_span.tags.emplace_back("tmpl", rec.template_index);
       job_span.tags.emplace_back("adv", rec.adversary_index);
+      job_span.tags.emplace_back("class", index_of(rec.admission));
       spans_.push_back(std::move(job_span));
       obs::Span decide;
       decide.name = "decide";
-      decide.job = static_cast<std::int64_t>(slot.job_id);
+      decide.job = static_cast<std::int64_t>(rec.id);
       decide.t0 = now;
       decide.t1 = now;
-      decide.parent = job_span_id(slot.job_id);
+      decide.parent = job_span_id(rec.id);
       decide.tags.emplace_back("ok", rec.satisfied ? 1 : 0);
       decide.tags.emplace_back("cond",
                                static_cast<std::int64_t>(rec.applied));
@@ -468,6 +575,7 @@ void AgreementService::complete_sub_instance(InstanceSlot& slot, double now) {
 void AgreementService::tick(double now) {
   const obs::ScopedTimer timer(tick_ms_histogram());
   ticks_counter().add();
+  ++ticks_this_run_;
   rounds_driven_counter().add(active_.size());
   // Batched round dispatch: every co-scheduled instance advances exactly
   // one synchronous round. Instances are disjoint process sets, so the
@@ -502,12 +610,12 @@ void AgreementService::tick(double now) {
       // tagged with the injection deltas it incurred.
       obs::Span span;
       span.name = "round";
-      span.job = static_cast<std::int64_t>(slot->job_id);
+      span.job = static_cast<std::int64_t>(records_[slot->job_id].id);
       span.sub = slot->sub;
       span.round = slot->engine.rounds_processed() - 1;
       span.t0 = slot->last_time;
       span.t1 = now;
-      span.parent = inst_span_id(slot->job_id, slot->sub);
+      span.parent = inst_span_id(records_[slot->job_id].id, slot->sub);
       if (slot->injected) {
         const inject::InjectionStats& cur = slot->net->stats();
         add_injection_tags(span.tags, cur, &slot->last_stats);
@@ -526,15 +634,107 @@ void AgreementService::tick(double now) {
     if (recording_) {
       obs::Span span;
       span.name = "recycle";
-      span.job = static_cast<std::int64_t>(slot->job_id);
+      span.job = static_cast<std::int64_t>(records_[slot->job_id].id);
       span.sub = slot->sub;
       span.t0 = now;
       span.t1 = now;
-      span.parent = inst_span_id(slot->job_id, slot->sub);
+      span.parent = inst_span_id(records_[slot->job_id].id, slot->sub);
       spans_.push_back(std::move(span));
     }
   }
   active_.resize(kept);
+}
+
+void AgreementService::begin_run(std::uint64_t expected) {
+  DA_EXPECTS(active_.empty());
+  records_.clear();
+  records_.reserve(expected);
+  jobs_.clear();
+  jobs_.reserve(expected);
+  admission_.clear();
+  spans_.clear();
+  samples_.clear();
+  latency_sketch_.clear();
+  queue_sketch_.clear();
+  for (auto& sketch : class_latency_) sketch.clear();
+  completed_so_far_ = 0;
+  shed_so_far_ = 0;
+  deadline_missed_so_far_ = 0;
+  completed_by_class_.fill(0);
+  finished_this_run_ = 0;  // completed + shed
+  ticks_this_run_ = 0;
+  peak_active_ = 0;
+  next_sample_ = config_.sample_every > 0.0 ? config_.sample_every : kNever;
+}
+
+void AgreementService::offer_job(const JobOffer& offer, double now) {
+  // Sweep expired deadlines first: an expired job must not block (or be
+  // counted against) this arrival's admission.
+  expire_deadlines(now);
+  arrivals_counter().add();
+  const std::uint64_t local = records_.size();
+  records_.emplace_back();
+  jobs_.emplace_back();
+  JobRecord& rec = records_.back();
+  rec.id = offer.id;
+  rec.arrival = now;
+  rec.template_index = offer.template_index;
+  rec.adversary_index = offer.adversary_index;
+  const JobTemplate& tmpl =
+      mix_[static_cast<std::size_t>(rec.template_index)];
+  rec.admission = tmpl.admission;
+  // Class-aware admission: an arrival may overtake queued *lower*-class
+  // jobs, but queues behind its own class (FIFO) and higher ones. With a
+  // single class this is exactly the old "admit iff the queue is empty".
+  if (!admission_.blocks(tmpl.admission) && try_admit(local, now)) {
+    return;  // admitted on arrival
+  }
+  QueuedJob queued;
+  queued.job = local;
+  queued.deadline_at = tmpl.deadline > 0.0 ? now + tmpl.deadline : kNoDeadline;
+  queued.width = static_cast<int>(
+      template_shapes_[static_cast<std::size_t>(rec.template_index)].size());
+  admission_.push(tmpl.admission, queued);
+  if (config_.policy == OverloadPolicy::kShedOldest &&
+      admission_.size() > config_.queue_cap) {
+    const QueuedJob victim = admission_.pop_shed_victim();
+    shed_job(victim.job, now, /*deadline_missed=*/false);
+  }
+}
+
+void AgreementService::step(double now) {
+  tick(now);  // bumps finished_this_run_ as jobs settle
+  // Completions freed capacity; expire stale deadlines, then admit the
+  // queue head(s) at tick time.
+  expire_deadlines(now);
+  drain_queue(now);
+}
+
+ServiceResult AgreementService::end_run(double makespan) {
+  ServiceResult result;
+  result.records = records_;
+  result.completed = completed_so_far_;
+  result.shed = shed_so_far_;
+  result.deadline_missed = deadline_missed_so_far_;
+  result.violations = 0;
+  for (const JobRecord& rec : records_) {
+    if (!rec.shed && !rec.satisfied) ++result.violations;
+  }
+  result.makespan = makespan;
+  result.peak_active = peak_active_;
+  result.ticks = ticks_this_run_;
+  if (recording_) {
+    obs::canonicalize(spans_);
+    result.spans = spans_;
+  }
+  result.samples = samples_;
+  result.latency_sketch = latency_sketch_;
+  result.queue_sketch = queue_sketch_;
+  result.class_latency = class_latency_;
+  obs::MetricsRegistry::global().set_gauge("service.peak_active",
+                                           result.peak_active);
+  obs::MetricsRegistry::global().set_gauge("service.cap", config_.cap);
+  return result;
 }
 
 ServiceResult AgreementService::run() {
@@ -542,25 +742,10 @@ ServiceResult AgreementService::run() {
   const auto wall_start = std::chrono::steady_clock::now();
   const std::uint64_t offered = config_.offered;
   DA_EXPECTS(offered >= 1);
-  DA_EXPECTS(active_.empty());
+  begin_run(offered);
 
-  records_.clear();
-  records_.resize(offered);
-  jobs_.clear();
-  jobs_.resize(offered);
-  queue_.clear();
-  spans_.clear();
-  samples_.clear();
-  latency_sketch_.clear();
-  queue_sketch_.clear();
-  completed_so_far_ = 0;
-  shed_so_far_ = 0;
-  next_sample_ = config_.sample_every > 0.0 ? config_.sample_every : kNever;
-
-  ServiceResult result;
   ArrivalGenerator gen(config_.arrivals, config_.seed);
   std::uint64_t arrived = 0;
-  finished_this_run_ = 0;  // completed + shed
   double next_arrival = gen.next();
   double next_tick = kNever;
   double now = 0.0;
@@ -576,55 +761,21 @@ ServiceResult AgreementService::run() {
       now = next_arrival;
       const std::uint64_t id = arrived++;
       next_arrival = arrived < offered ? gen.next() : kNever;
-      arrivals_counter().add();
-      JobRecord& rec = records_[id];
-      rec.id = id;
-      rec.arrival = now;
-      rec.template_index = static_cast<int>(
-          mix64(config_.seed, mix64(id, 0x70)) % mix_.size());
-      rec.adversary_index = static_cast<int>(
-          mix64(config_.seed, mix64(id, 0xad)) % adversaries_.size());
-      if (queue_.empty() && try_admit(id, now)) {
-        // Admitted on arrival.
-      } else {
-        queue_.push_back(id);
-        if (config_.policy == OverloadPolicy::kShedOldest &&
-            queue_.size() > config_.queue_cap) {
-          const std::uint64_t victim = queue_.front();
-          queue_.pop_front();
-          records_[victim].shed = true;
-          records_[victim].applied = Condition::kNone;
-          records_[victim].shed_at = now;
-          shed_counter().add();
-          ++result.shed;
-          ++finished_this_run_;
-          ++shed_so_far_;
-          if (recording_) {
-            obs::Span span;
-            span.name = "job";
-            span.job = static_cast<std::int64_t>(victim);
-            span.t0 = records_[victim].arrival;
-            span.t1 = now;
-            span.tags.emplace_back("tmpl", records_[victim].template_index);
-            span.tags.emplace_back("adv", records_[victim].adversary_index);
-            span.tags.emplace_back("shed", 1);
-            spans_.push_back(std::move(span));
-          }
-        }
-      }
+      JobOffer offer;
+      offer.id = id;
+      offer.template_index = draw_template_index(config_.seed, id,
+                                                 mix_.size());
+      offer.adversary_index =
+          draw_adversary_index(config_.seed, id, adversaries_.size());
+      offer_job(offer, now);
       if (!active_.empty() && next_tick == kNever) {
         next_tick = now + config_.round_period;
       }
-      result.peak_active = std::max(result.peak_active, active_width_);
       continue;
     }
     DA_EXPECTS(next_tick != kNever);  // else nothing active and no arrivals
     now = next_tick;
-    tick(now);  // bumps finished_this_run_ as jobs settle
-    ++result.ticks;
-    // Completions freed capacity; admit the queue head(s) at tick time.
-    drain_queue(now);
-    result.peak_active = std::max(result.peak_active, active_width_);
+    step(now);
     next_tick = active_.empty() ? kNever : now + config_.round_period;
   }
 
@@ -632,27 +783,7 @@ ServiceResult AgreementService::run() {
   // flushes stop strictly before the final event).
   if (config_.sample_every > 0.0) push_sample(now);
 
-  // Fold the per-run aggregates.
-  result.records = records_;
-  result.completed = 0;
-  result.violations = 0;
-  result.makespan = now;
-  for (const JobRecord& rec : result.records) {
-    if (rec.shed) continue;
-    ++result.completed;
-    completed_counter().add();
-    if (!rec.satisfied) ++result.violations;
-  }
-  if (recording_) {
-    obs::canonicalize(spans_);
-    result.spans = spans_;
-  }
-  result.samples = samples_;
-  result.latency_sketch = latency_sketch_;
-  result.queue_sketch = queue_sketch_;
-  obs::MetricsRegistry::global().set_gauge("service.peak_active",
-                                           result.peak_active);
-  obs::MetricsRegistry::global().set_gauge("service.cap", config_.cap);
+  ServiceResult result = end_run(now);
   result.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - wall_start)
                        .count();
@@ -675,9 +806,15 @@ void AgreementService::push_sample(double at) {
   ServiceSample sample;
   sample.time = at;
   sample.active = active_width_;
-  sample.queued = queue_.size();
+  sample.queued = admission_.size();
   sample.completed = completed_so_far_;
   sample.shed = shed_so_far_;
+  sample.deadline_missed = deadline_missed_so_far_;
+  sample.completed_by_class = completed_by_class_;
+  for (int c = 0; c < kAdmissionClassCount; ++c) {
+    sample.queued_by_class[static_cast<std::size_t>(c)] =
+        admission_.size_of(static_cast<AdmissionClass>(c));
+  }
   sample.latency_p50 = latency_sketch_.quantile(0.5);
   sample.latency_p99 = latency_sketch_.quantile(0.99);
   samples_.push_back(sample);
@@ -700,47 +837,55 @@ double ServiceResult::latency_quantile(double q) const {
   return latencies[index];
 }
 
+std::uint64_t fold_job_record(std::uint64_t h, const JobRecord& rec) {
+  h = mix64(h, rec.id);
+  h = mix64(h, static_cast<std::uint64_t>(rec.template_index));
+  h = mix64(h, static_cast<std::uint64_t>(rec.adversary_index));
+  h = mix64(h, static_cast<std::uint64_t>(index_of(rec.admission)));
+  h = fold_double(h, rec.arrival);
+  h = mix64(h, rec.shed ? 1 : 0);
+  if (rec.shed) return mix64(h, rec.deadline_missed ? 1 : 0);
+  h = fold_double(h, rec.admitted);
+  h = fold_double(h, rec.completed);
+  h = mix64(h, static_cast<std::uint64_t>(rec.applied));
+  h = mix64(h, rec.satisfied ? 1 : 0);
+  return mix64(h, rec.decisions_digest);
+}
+
 std::uint64_t ServiceResult::digest() const {
   // Everything deterministic about the run, excluding wall_ms.
   std::uint64_t h = mix64(0x5e41ce, records.size());
-  for (const JobRecord& rec : records) {
-    h = mix64(h, rec.id);
-    h = mix64(h, static_cast<std::uint64_t>(rec.template_index));
-    h = mix64(h, static_cast<std::uint64_t>(rec.adversary_index));
-    h = fold_double(h, rec.arrival);
-    h = mix64(h, rec.shed ? 1 : 0);
-    if (rec.shed) continue;
-    h = fold_double(h, rec.admitted);
-    h = fold_double(h, rec.completed);
-    h = mix64(h, static_cast<std::uint64_t>(rec.applied));
-    h = mix64(h, rec.satisfied ? 1 : 0);
-    h = mix64(h, rec.decisions_digest);
-  }
+  for (const JobRecord& rec : records) h = fold_job_record(h, rec);
   return h;
+}
+
+void append_record_line(std::string& out, const JobRecord& rec) {
+  char line[192];
+  if (rec.shed) {
+    std::snprintf(line, sizeof line,
+                  "job %llu tmpl=%d adv=%d class=%s arrival=%.6f %s\n",
+                  static_cast<unsigned long long>(rec.id),
+                  rec.template_index, rec.adversary_index,
+                  to_string(rec.admission), rec.arrival,
+                  rec.deadline_missed ? "DEADLINE" : "SHED");
+  } else {
+    std::snprintf(line, sizeof line,
+                  "job %llu tmpl=%d adv=%d class=%s arrival=%.6f "
+                  "admitted=%.6f completed=%.6f %s %s digest=%016llx\n",
+                  static_cast<unsigned long long>(rec.id),
+                  rec.template_index, rec.adversary_index,
+                  to_string(rec.admission), rec.arrival, rec.admitted,
+                  rec.completed, to_string(rec.applied),
+                  rec.satisfied ? "ok" : "VIOLATED",
+                  static_cast<unsigned long long>(rec.decisions_digest));
+  }
+  out += line;
 }
 
 std::string ServiceResult::artifact() const {
   std::string out;
-  out.reserve(records.size() * 96);
-  char line[192];
-  for (const JobRecord& rec : records) {
-    if (rec.shed) {
-      std::snprintf(line, sizeof line,
-                    "job %llu tmpl=%d adv=%d arrival=%.6f SHED\n",
-                    static_cast<unsigned long long>(rec.id),
-                    rec.template_index, rec.adversary_index, rec.arrival);
-    } else {
-      std::snprintf(line, sizeof line,
-                    "job %llu tmpl=%d adv=%d arrival=%.6f admitted=%.6f "
-                    "completed=%.6f %s %s digest=%016llx\n",
-                    static_cast<unsigned long long>(rec.id),
-                    rec.template_index, rec.adversary_index, rec.arrival,
-                    rec.admitted, rec.completed, to_string(rec.applied),
-                    rec.satisfied ? "ok" : "VIOLATED",
-                    static_cast<unsigned long long>(rec.decisions_digest));
-    }
-    out += line;
-  }
+  out.reserve(records.size() * 112);
+  for (const JobRecord& rec : records) append_record_line(out, rec);
   return out;
 }
 

@@ -1,7 +1,7 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +11,7 @@
 #include "inject/fault_plan.hpp"
 #include "obs/quantiles.hpp"
 #include "obs/spans.hpp"
+#include "service/admission.hpp"
 #include "service/arrivals.hpp"
 #include "sim/adversary.hpp"
 #include "sim/round_engine.hpp"
@@ -25,10 +26,12 @@ namespace da::service {
 /// The paper's protocols are exercised elsewhere one instance per `run()`
 /// call; here a stream of agreement *jobs* arrives open-loop (Poisson,
 /// bursty, heavy-tailed — `service/arrivals.hpp`), is admitted against a
-/// concurrency cap with configurable backpressure, and is executed in
-/// *batched round ticks*: every `round_period` of virtual time, all
-/// co-scheduled instances advance one synchronous round together, drained
-/// by the sweep engine's work-stealing pool when `jobs > 1`.
+/// concurrency cap with class-aware backpressure (`service/admission.hpp`:
+/// priority classes, optional admission deadlines, shed-lowest-class-first
+/// overload handling), and is executed in *batched round ticks*: every
+/// `round_period` of virtual time, all co-scheduled instances advance one
+/// synchronous round together, drained by the sweep engine's
+/// work-stealing pool when `jobs > 1`.
 ///
 /// Steady-state admission is allocation-free: per distinct scenario
 /// *shape* (protocol, config, sender, value, faulty set) the service
@@ -41,11 +44,18 @@ namespace da::service {
 ///
 /// Determinism contract: for a fixed (seed, arrival spec, cap, policy,
 /// mix), the per-job records — arrival/admission/completion times,
-/// verdicts, decision digests — are identical for every `jobs` value.
-/// Arrivals and admissions happen on the event-loop thread only; workers
-/// touch disjoint engines; all adversary behaviour is a pure function of
-/// message identity. `ServiceResult::digest()` folds every record so
-/// tests can pin the contract in one comparison.
+/// verdicts, decision digests, shed dispositions — are identical for
+/// every `jobs` value. Arrivals and admissions happen on the event-loop
+/// thread only; workers touch disjoint engines; all adversary behaviour
+/// is a pure function of message identity. `ServiceResult::digest()`
+/// folds every record so tests can pin the contract in one comparison.
+///
+/// Besides the self-driving `run()`, the service exposes a *driven mode*
+/// (`begin_run` / `offer_job` / `step` / `end_run`): the sharded
+/// front-end (`service/frontend.hpp`) drives many services in lockstep
+/// off one global event sequence through exactly the primitives `run()`
+/// itself is built on, which is what makes an uncongested front-end
+/// stream record-identical to the single-service baseline.
 
 /// What kind of agreement one arriving job asks for.
 enum class JobKind {
@@ -69,23 +79,34 @@ struct JobTemplate {
   NodeId sender = 0;
   Value sender_value = Value::of(17);
   std::vector<NodeId> faulty{};
+  /// Priority class: admission order is (class, FIFO within class), and
+  /// overload shedding consumes the lowest class first.
+  AdmissionClass admission = AdmissionClass::kNormal;
+  /// Relative admission deadline in virtual time: a job still queued
+  /// when `arrival + deadline` passes is shed with the distinct
+  /// `deadline_missed` disposition. <= 0 means no deadline.
+  double deadline = 0.0;
 
   [[nodiscard]] std::string to_string() const;
 };
 
 /// The standard mix used by benches and the demo: three BYZ shapes
 /// (n=7 1/4-degradable, n=4 1/1, n=7 2/2) and one n=4 IC job, faults
-/// within budget so D.1-D.4 all hold and the stream stays clean.
+/// within budget so D.1-D.4 all hold and the stream stays clean. The
+/// minimal-feasible BYZ shape rides in `kHigh`, the heavy 3-round shape
+/// in `kLow`, the rest in `kNormal`; no template carries a deadline.
 [[nodiscard]] std::vector<JobTemplate> default_mix();
 
 /// What to do when arrivals outpace the cap.
 enum class OverloadPolicy {
-  /// Queue without bound; every job is eventually admitted FIFO. Latency
-  /// absorbs the backlog.
+  /// Queue without bound; every job is eventually admitted in (class,
+  /// FIFO) order. Latency absorbs the backlog.
   kBlock,
   /// Bound the admission queue at `queue_cap` jobs; when a new arrival
-  /// would exceed it, the *oldest* queued job is shed (dropped, counted,
-  /// recorded with `shed = true`). The newest arrivals ride out bursts.
+  /// would exceed it, the oldest job of the *lowest occupied class* is
+  /// shed (dropped, counted, recorded with `shed = true`). High classes
+  /// ride out bursts at the expense of low ones; with a single class
+  /// this degenerates to the classic shed-oldest.
   kShedOldest,
 };
 
@@ -127,19 +148,24 @@ struct JobRecord {
   std::uint64_t id = 0;
   int template_index = 0;
   int adversary_index = 0;
+  AdmissionClass admission = AdmissionClass::kNormal;
   double arrival = 0.0;
   double admitted = -1.0;
   double completed = -1.0;
   bool shed = false;
+  /// Shed because the admission deadline passed while queued (a subset
+  /// of `shed`), as opposed to an overload-policy eviction.
+  bool deadline_missed = false;
   /// Folded over all coordinates for kIc (worst coordinate wins:
   /// satisfied only if every coordinate satisfied).
   Condition applied = Condition::kNone;
   bool satisfied = true;
   /// mix64 fold of every (node, decision) pair, all coordinates.
   std::uint64_t decisions_digest = 0;
-  /// Virtual time the job was shed (-1 when not shed). Redundant with the
-  /// event sequence, so excluded from `digest()`/`artifact()`; it closes
-  /// the shed job's span.
+  /// Virtual time the job was shed (-1 when not shed; the deadline
+  /// instant for deadline misses). Redundant with the event sequence, so
+  /// excluded from `digest()`/`artifact()`; it closes the shed job's
+  /// span.
   double shed_at = -1.0;
 
   [[nodiscard]] double queue_wait() const {
@@ -150,6 +176,17 @@ struct JobRecord {
   }
 };
 
+/// Appends `rec`'s canonical one-line artifact form to `out` (shared by
+/// `ServiceResult::artifact()` and `FrontendResult::artifact()`, so an
+/// uncongested front-end stream can be compared to the single-service
+/// baseline byte for byte).
+void append_record_line(std::string& out, const JobRecord& rec);
+
+/// mix64-folds every digest-relevant field of one record into `h` (shared
+/// by `ServiceResult::digest()` and `FrontendResult::digest()`).
+[[nodiscard]] std::uint64_t fold_job_record(std::uint64_t h,
+                                            const JobRecord& rec);
+
 /// One periodic time-series point, taken on the `sample_every` grid of
 /// virtual time by the event loop — every field derives from deterministic
 /// event-loop state, so the series is identical for every `jobs` value.
@@ -159,6 +196,11 @@ struct ServiceSample {
   std::size_t queued = 0;  // jobs waiting for admission
   std::uint64_t completed = 0;
   std::uint64_t shed = 0;
+  /// Deadline-missed sheds so far (subset of `shed`).
+  std::uint64_t deadline_missed = 0;
+  /// Per-class breakdowns, indexed by `index_of(AdmissionClass)`.
+  std::array<std::uint64_t, kAdmissionClassCount> completed_by_class{};
+  std::array<std::uint64_t, kAdmissionClassCount> queued_by_class{};
   /// Running decision-latency quantiles (sketch estimates; 0 until the
   /// first completion).
   double latency_p50 = 0.0;
@@ -169,7 +211,8 @@ struct ServiceSample {
 struct ServiceResult {
   std::vector<JobRecord> records;  // by job id, one per offered job
   std::uint64_t completed = 0;
-  std::uint64_t shed = 0;
+  std::uint64_t shed = 0;  // all sheds, deadline misses included
+  std::uint64_t deadline_missed = 0;
   std::uint64_t violations = 0;  // jobs whose D.1-D.4 verdict failed
   /// Virtual completion time of the last job.
   double makespan = 0.0;
@@ -189,6 +232,9 @@ struct ServiceResult {
   /// byte-identical across `jobs` values.
   obs::QuantileSketch latency_sketch{};
   obs::QuantileSketch queue_sketch{};
+  /// Per-class decision-latency sketches, indexed by
+  /// `index_of(AdmissionClass)`; same determinism guarantee.
+  std::array<obs::QuantileSketch, kAdmissionClassCount> class_latency{};
 
   /// Exact latency quantile over completed jobs (q in [0,1]); 0 when
   /// nothing completed.
@@ -205,12 +251,31 @@ struct ServiceResult {
   [[nodiscard]] std::string artifact() const;
 };
 
+/// Template / adversary draws for job `id`: pure functions of (seed, id),
+/// shared verbatim by `AgreementService::run()` and the sharded front-end
+/// so both see the same job stream for the same seed.
+[[nodiscard]] int draw_template_index(std::uint64_t seed, std::uint64_t id,
+                                      std::size_t mix_size);
+[[nodiscard]] int draw_adversary_index(std::uint64_t seed, std::uint64_t id,
+                                       std::size_t adversary_count);
+
+/// One pre-drawn arriving job handed to a driven service: the caller
+/// (the `run()` loop or the front-end router) owns the arrival stream
+/// and the draws; the service owns admission, execution and records.
+struct JobOffer {
+  std::uint64_t id = 0;  // global job id (record identity, span ids)
+  int template_index = 0;
+  int adversary_index = 0;
+};
+
 /// The long-lived service. Construct once; `run()` may be called
 /// repeatedly — slots, engines and queues persist across runs, so every
 /// run after the first starts warm (no slot construction at all when the
 /// mix is unchanged).
 class AgreementService {
  public:
+  /// Throws `UnsupportedConfig` when a mix template's config is outside
+  /// what the engine can execute (`Config::engine_runnable()`).
   explicit AgreementService(ServiceConfig config);
   ~AgreementService();
 
@@ -223,7 +288,60 @@ class AgreementService {
   /// so repeated runs of an unchanged service are identical.
   [[nodiscard]] ServiceResult run();
 
+  // --- Driven mode -------------------------------------------------
+  // The front-end (or a test) drives the service through the exact
+  // primitives `run()` is built on: `begin_run` resets per-run state,
+  // `offer_job` performs full arrival semantics (deadline sweep,
+  // class-aware admit-or-queue, overload shedding), `step` is one
+  // batched round tick plus deadline sweep plus queue drain, and
+  // `end_run` folds the aggregates. All four must be called from one
+  // thread (the caller's event loop).
+
+  /// `expected` pre-sizes the record store (0 is fine).
+  void begin_run(std::uint64_t expected);
+  void offer_job(const JobOffer& offer, double now);
+  void step(double now);
+  [[nodiscard]] ServiceResult end_run(double makespan);
+
+  /// True when no instance is active. Invariant: a non-empty admission
+  /// queue implies an active instance, so an idle service has nothing
+  /// to do until the next offer.
+  [[nodiscard]] bool idle() const { return active_.empty(); }
+  /// Jobs finished (completed + shed) since `begin_run`.
+  [[nodiscard]] std::uint64_t finished() const { return finished_this_run_; }
+  /// Occupied slots + queued slot width: the deterministic-least-loaded
+  /// router's load figure.
+  [[nodiscard]] int load() const {
+    return active_width_ + admission_.queued_width();
+  }
+  [[nodiscard]] int active_width() const { return active_width_; }
+  [[nodiscard]] std::size_t queue_depth() const { return admission_.size(); }
+  [[nodiscard]] std::size_t queued_of(AdmissionClass cls) const {
+    return admission_.size_of(cls);
+  }
+  [[nodiscard]] std::uint64_t completed_so_far() const {
+    return completed_so_far_;
+  }
+  [[nodiscard]] std::uint64_t shed_so_far() const { return shed_so_far_; }
+  [[nodiscard]] std::uint64_t deadline_missed_so_far() const {
+    return deadline_missed_so_far_;
+  }
+  [[nodiscard]] std::uint64_t completed_of(AdmissionClass cls) const {
+    return completed_by_class_[static_cast<std::size_t>(index_of(cls))];
+  }
+  /// Running decision-latency sketch (merged by the front-end per
+  /// sample instant).
+  [[nodiscard]] const obs::QuantileSketch& running_latency_sketch() const {
+    return latency_sketch_;
+  }
+
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  /// The resolved mix (`default_mix()` when the config left it empty).
+  [[nodiscard]] const std::vector<JobTemplate>& mix() const { return mix_; }
+  /// Size of the stateless adversary family (for `draw_adversary_index`).
+  [[nodiscard]] std::size_t adversary_count() const {
+    return adversaries_.size();
+  }
 
   /// Slots constructed / recycled since construction (mirrors the
   /// `service.slots_created` / `service.slot_reuse` counters, readable
@@ -239,7 +357,9 @@ class AgreementService {
   void build_shapes();
   [[nodiscard]] InstanceSlot* acquire_slot(int shape_index);
   void release_slot(InstanceSlot* slot);
-  [[nodiscard]] bool try_admit(std::uint64_t job_id, double now);
+  [[nodiscard]] bool try_admit(std::uint64_t local, double now);
+  void shed_job(std::uint64_t local, double at, bool deadline_missed);
+  void expire_deadlines(double now);
   void drain_queue(double now);
   void tick(double now);
   void complete_sub_instance(InstanceSlot& slot, double now);
@@ -258,17 +378,22 @@ class AgreementService {
   std::vector<std::unique_ptr<InstanceSlot>> slots_;   // owner
   std::vector<std::vector<InstanceSlot*>> free_slots_;  // per shape
   std::vector<InstanceSlot*> active_;
-  std::vector<ActiveJob> jobs_;  // per offered job, reused across runs
-  std::deque<std::uint64_t> queue_;
+  std::vector<ActiveJob> jobs_;  // per offered job, by local index
+  AdmissionQueue admission_;
   int active_width_ = 0;
 
   std::unique_ptr<sweep::ThreadPool> pool_;
   std::uint64_t slots_created_ = 0;
   std::uint64_t slot_reuses_ = 0;
 
-  // Per-run scratch (kept across runs to preserve capacity).
+  // Per-run scratch (kept across runs to preserve capacity). Records and
+  // job states are appended per offer; in `run()` the local index equals
+  // the job id, under the front-end it is the shard-local offer ordinal
+  // (`records_[local].id` holds the global id).
   std::vector<JobRecord> records_;
   std::uint64_t finished_this_run_ = 0;  // completed + shed jobs
+  std::uint64_t ticks_this_run_ = 0;
+  int peak_active_ = 0;
   sim::RunResult scratch_result_;
 
   // Observability scratch (spans/samples/sketches, reset per run).
@@ -278,9 +403,12 @@ class AgreementService {
   std::vector<ServiceSample> samples_;
   obs::QuantileSketch latency_sketch_;
   obs::QuantileSketch queue_sketch_;
+  std::array<obs::QuantileSketch, kAdmissionClassCount> class_latency_{};
   double next_sample_ = 0.0;
   std::uint64_t completed_so_far_ = 0;
   std::uint64_t shed_so_far_ = 0;
+  std::uint64_t deadline_missed_so_far_ = 0;
+  std::array<std::uint64_t, kAdmissionClassCount> completed_by_class_{};
 };
 
 /// One-shot convenience: construct, run once, return the result.

@@ -7,10 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
+#include <limits>
+#include <set>
 #include <vector>
 
+#include "core/byz.hpp"
+#include "core/scenario.hpp"
 #include "obs/metrics.hpp"
+#include "service/admission.hpp"
 #include "service/arrivals.hpp"
 
 namespace da::service {
@@ -84,6 +90,70 @@ TEST(Arrivals, BurstyMatchesLongRunRate) {
   double last = 0.0;
   for (int i = 0; i < n; ++i) last = gen.next();
   EXPECT_NEAR(n / last, rate, 0.15 * rate);
+}
+
+TEST(Arrivals, BurstyOpensInTheOnState) {
+  // Construction-state pin: the phase machine starts ON at t=0 with a
+  // first phase boundary drawn from the ON mean.
+  ArrivalGenerator gen(ArrivalSpec::bursty(4.0), 7);
+  EXPECT_TRUE(gen.bursty_on());
+  EXPECT_DOUBLE_EQ(gen.now(), 0.0);
+  EXPECT_GT(gen.bursty_phase_end(), 0.0);
+
+  // Statistical pin that fails on an OFF-start generator. bursty(4.0)
+  // bursts at rate 16 with a mean OFF period of 15: opening ON puts the
+  // mean first arrival near 1/16 (~0.06, plus a small correction for
+  // streams whose first ON phase ends before the first draw), while
+  // opening OFF would push it past the OFF mean, near 15.
+  double sum = 0.0;
+  const int seeds = 400;
+  for (int s = 0; s < seeds; ++s) {
+    ArrivalGenerator g(ArrivalSpec::bursty(4.0), 1000 + s);
+    sum += g.next();
+  }
+  const double mean_first = sum / seeds;
+  EXPECT_GT(mean_first, 0.0);
+  EXPECT_LT(mean_first, 2.0) << "stream appears to open in the OFF state";
+}
+
+TEST(Arrivals, BurstyNeverArrivesInsideAnOffPhase) {
+  // Every arrival must land inside an ON phase: after next() returns the
+  // machine sits in the ON phase containing the arrival, with the arrival
+  // no later than that phase's end. Distinct phase boundaries prove the
+  // walk actually cycled through OFF silences rather than idling in one
+  // long ON phase.
+  ArrivalGenerator gen(ArrivalSpec::bursty(6.0), 9);
+  std::set<double> phase_ends;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = gen.next();
+    ASSERT_TRUE(gen.bursty_on()) << "arrival " << i << " inside OFF";
+    ASSERT_LE(t, gen.bursty_phase_end()) << "arrival " << i;
+    ASSERT_DOUBLE_EQ(gen.now(), t);
+    phase_ends.insert(gen.bursty_phase_end());
+  }
+  EXPECT_GT(phase_ends.size(), 100u) << "phase machine never left ON";
+}
+
+TEST(Arrivals, ReconstructedGeneratorReplaysTheStream) {
+  // Reconstruction determinism: a fresh generator with the same (spec,
+  // seed) replays the identical stream, including the bursty phase-machine
+  // state at every step.
+  const ArrivalSpec spec = ArrivalSpec::bursty(8.0);
+  std::vector<double> times;
+  std::vector<double> ends;
+  {
+    ArrivalGenerator gen(spec, 31);
+    for (int i = 0; i < 5000; ++i) {
+      times.push_back(gen.next());
+      ends.push_back(gen.bursty_phase_end());
+    }
+  }
+  ArrivalGenerator replay(spec, 31);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_DOUBLE_EQ(replay.next(), times[static_cast<std::size_t>(i)]);
+    EXPECT_DOUBLE_EQ(replay.bursty_phase_end(),
+                     ends[static_cast<std::size_t>(i)]);
+  }
 }
 
 TEST(Arrivals, ParetoGapsBoundedAndMatchRate) {
@@ -282,11 +352,282 @@ TEST(Service, IcJobOccupiesItsWidthInSlots) {
 TEST(Service, DefaultMixShapesAreFeasible) {
   for (const JobTemplate& tmpl : default_mix()) {
     EXPECT_TRUE(tmpl.config.valid()) << tmpl.to_string();
+    EXPECT_TRUE(tmpl.config.engine_runnable()) << tmpl.to_string();
     EXPECT_FALSE(tmpl.to_string().empty());
     EXPECT_LE(static_cast<int>(tmpl.faulty.size()), tmpl.config.m + tmpl.config.u)
         << tmpl.to_string();
   }
 }
+
+// ----------------------------------------------------------- admission --
+
+TEST(Admission, ParseRoundTrips) {
+  for (AdmissionClass cls : {AdmissionClass::kHigh, AdmissionClass::kNormal,
+                             AdmissionClass::kLow}) {
+    const auto parsed = parse_admission_class(to_string(cls));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, cls);
+  }
+  EXPECT_FALSE(parse_admission_class("urgent").has_value());
+  EXPECT_FALSE(parse_admission_class("").has_value());
+}
+
+TEST(Admission, ClassMajorFifoOrderAndBlocking) {
+  AdmissionQueue q;
+  EXPECT_TRUE(q.empty());
+  // Nothing queued blocks nothing.
+  EXPECT_FALSE(q.blocks(AdmissionClass::kHigh));
+  EXPECT_FALSE(q.blocks(AdmissionClass::kLow));
+
+  q.push(AdmissionClass::kLow, {.job = 1, .width = 2});
+  q.push(AdmissionClass::kNormal, {.job = 2});
+  q.push(AdmissionClass::kLow, {.job = 3});
+  q.push(AdmissionClass::kHigh, {.job = 4});
+  q.push(AdmissionClass::kNormal, {.job = 5});
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_EQ(q.size_of(AdmissionClass::kHigh), 1u);
+  EXPECT_EQ(q.size_of(AdmissionClass::kNormal), 2u);
+  EXPECT_EQ(q.size_of(AdmissionClass::kLow), 2u);
+  EXPECT_EQ(q.queued_width(), 6);  // 4 unit jobs + one width-2 job
+
+  // A queued normal blocks arriving normal/low but lets high overtake.
+  EXPECT_TRUE(q.blocks(AdmissionClass::kLow));
+  EXPECT_TRUE(q.blocks(AdmissionClass::kNormal));
+  EXPECT_TRUE(q.blocks(AdmissionClass::kHigh));  // job 4 queued
+  // The admission head walks (class, FIFO): 4, 2, 5, 1, 3.
+  const std::uint64_t expected[] = {4, 2, 5, 1, 3};
+  for (const std::uint64_t want : expected) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.front().job, want);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.queued_width(), 0);
+}
+
+TEST(Admission, ShedVictimIsOldestOfLowestClass) {
+  AdmissionQueue q;
+  q.push(AdmissionClass::kHigh, {.job = 1});
+  q.push(AdmissionClass::kLow, {.job = 2});
+  q.push(AdmissionClass::kLow, {.job = 3});
+  q.push(AdmissionClass::kNormal, {.job = 4});
+  // Sheds consume kLow oldest-first, then kNormal, then kHigh.
+  EXPECT_EQ(q.pop_shed_victim().job, 2u);
+  EXPECT_EQ(q.pop_shed_victim().job, 3u);
+  EXPECT_EQ(q.pop_shed_victim().job, 4u);
+  EXPECT_EQ(q.pop_shed_victim().job, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Admission, ExpireRemovesOnlyPastDeadlines) {
+  AdmissionQueue q;
+  q.push(AdmissionClass::kNormal, {.job = 1, .deadline_at = 5.0});
+  q.push(AdmissionClass::kNormal, {.job = 2});  // kNoDeadline
+  q.push(AdmissionClass::kLow, {.job = 3, .deadline_at = 2.0});
+  q.push(AdmissionClass::kHigh, {.job = 4, .deadline_at = 3.0});
+
+  std::vector<std::uint64_t> expired;
+  const auto collect = [&expired](AdmissionClass, const QueuedJob& victim) {
+    expired.push_back(victim.job);
+  };
+  q.expire(2.0, collect);  // strictly-before: deadline_at == now survives
+  EXPECT_TRUE(expired.empty());
+  q.expire(3.5, collect);  // class-major order: high job 4, then low job 3
+  EXPECT_EQ(expired, (std::vector<std::uint64_t>{4, 3}));
+  EXPECT_EQ(q.size(), 2u);
+  q.expire(1e9, collect);  // job 2 has no deadline and never expires
+  EXPECT_EQ(expired, (std::vector<std::uint64_t>{4, 3, 1}));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.front().job, 2u);
+}
+
+TEST(Service, RejectsEngineUnrunnableConfigAtTheBoundary) {
+  // (n=2, m=1) is well-formed but below the engine floor n >= 2m+1: the
+  // deepest VOTE quorum would be empty. Before the structured boundary
+  // this aborted via a contract failure deep inside EIG setup; now both
+  // the engine factory and service construction throw a typed,
+  // recoverable rejection carrying the offending config.
+  const Config bad{.n = 2, .m = 1, .u = 1};
+  EXPECT_TRUE(bad.valid());
+  EXPECT_FALSE(bad.engine_runnable());
+
+  try {
+    (void)core::make_byz_processes(bad, 0, Value::of(17));
+    FAIL() << "the engine factory accepted an engine-unrunnable config";
+  } catch (const UnsupportedConfig& rejected) {
+    EXPECT_EQ(rejected.config().n, 2);
+    EXPECT_EQ(rejected.config().m, 1);
+    EXPECT_NE(std::string(rejected.what()).find("n >= 2m+1"),
+              std::string::npos);
+  }
+
+  ServiceConfig config = small_config();
+  config.mix.push_back(
+      {JobKind::kByz, bad, 0, Value::of(17), {1}, AdmissionClass::kNormal});
+  EXPECT_THROW(AgreementService{config}, UnsupportedConfig);
+
+  // The boundary, not valid(): n=3, m=1 sits exactly on the floor.
+  EXPECT_TRUE((Config{.n = 3, .m = 1, .u = 1}).engine_runnable());
+}
+
+TEST(Service, ShedConsumesLowestClassFirstUnderOverload) {
+  // Sustained ~5x overload: the default mix spreads jobs over
+  // kHigh/kNormal/kLow, and shed-lowest-class-first must make the lower
+  // classes absorb the loss while the high class rides the overload out
+  // untouched. (The queue bound must exceed the high-class backlog — a
+  // queue saturated end-to-end with high jobs would shed highs too.)
+  ServiceConfig config;
+  config.arrivals = ArrivalSpec::poisson(20.0);
+  config.offered = 400;
+  config.cap = 8;
+  config.queue_cap = 32;
+  config.policy = OverloadPolicy::kShedOldest;
+  config.seed = 21;
+  const ServiceResult result = run_service(config);
+  EXPECT_GT(result.shed, 0u);
+  EXPECT_EQ(result.completed + result.shed, config.offered);
+
+  std::array<std::uint64_t, kAdmissionClassCount> offered_by{};
+  std::array<std::uint64_t, kAdmissionClassCount> shed_by{};
+  for (const JobRecord& rec : result.records) {
+    const auto c = static_cast<std::size_t>(index_of(rec.admission));
+    ++offered_by[c];
+    if (rec.shed) {
+      ++shed_by[c];
+      EXPECT_FALSE(rec.deadline_missed);  // no template carries a deadline
+    }
+  }
+  const auto high = static_cast<std::size_t>(index_of(AdmissionClass::kHigh));
+  const auto low = static_cast<std::size_t>(index_of(AdmissionClass::kLow));
+  EXPECT_GT(offered_by[high], 0u);
+  EXPECT_GT(offered_by[low], 0u);
+  EXPECT_EQ(shed_by[high], 0u) << "overload shed a protected high-class job";
+  EXPECT_GT(shed_by[low], 0u);
+  // The low class loses a larger *fraction* than every other class.
+  const double low_loss =
+      static_cast<double>(shed_by[low]) / static_cast<double>(offered_by[low]);
+  for (std::size_t c = 0; c < kAdmissionClassCount; ++c) {
+    if (c == low) continue;
+    const double loss = offered_by[c] == 0
+                            ? 0.0
+                            : static_cast<double>(shed_by[c]) /
+                                  static_cast<double>(offered_by[c]);
+    EXPECT_GT(low_loss, loss) << "class " << c;
+  }
+}
+
+TEST(Service, DeadlineMissedIsADistinctDisposition) {
+  // One minimal BYZ template with a tight admission deadline under heavy
+  // overload and the *block* policy: the only way out of the queue is
+  // admission or expiry, so every shed is a deadline miss.
+  ServiceConfig config;
+  config.arrivals = ArrivalSpec::poisson(50.0);
+  config.offered = 300;
+  config.cap = 4;
+  config.policy = OverloadPolicy::kBlock;
+  config.seed = 13;
+  JobTemplate tmpl = default_mix()[1];  // n=4 m=1, completes in 2 ticks
+  tmpl.deadline = 2.0;
+  config.mix.push_back(tmpl);
+
+  config.jobs = 1;
+  const ServiceResult result = run_service(config);
+  EXPECT_GT(result.deadline_missed, 0u);
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_EQ(result.deadline_missed, result.shed)
+      << "kBlock shed a job for a reason other than its deadline";
+  EXPECT_EQ(result.completed + result.shed, config.offered);
+  for (const JobRecord& rec : result.records) {
+    if (!rec.deadline_missed) continue;
+    EXPECT_TRUE(rec.shed);
+    EXPECT_LT(rec.admitted, 0.0);
+    EXPECT_LT(rec.completed, 0.0);
+    // Shed exactly at the deadline instant, relative to arrival.
+    EXPECT_NEAR(rec.shed_at, rec.arrival + tmpl.deadline, 1e-9);
+  }
+  // The artifact reports the distinct disposition.
+  EXPECT_NE(result.artifact().find("DEADLINE"), std::string::npos);
+  EXPECT_EQ(result.artifact().find(" SHED"), std::string::npos);
+
+  // Deadline expiry happens on the event loop, so the records stay
+  // byte-identical for every jobs value.
+  config.jobs = 4;
+  const ServiceResult fleet = run_service(config);
+  EXPECT_EQ(result.digest(), fleet.digest());
+  EXPECT_EQ(result.artifact(), fleet.artifact());
+}
+
+#ifndef DA_METRICS_DISABLED
+TEST(ServiceObs, CompletedCounterAgreesAtEveryInstant) {
+  // The counter-drift regression: `service.completed` is bumped at
+  // completion time, so a registry read at *any* event instant agrees
+  // with the service's own tally and with the periodic samples — not
+  // just after an end-of-run fold. Drive the service manually (the same
+  // primitives run() uses) and check at every event boundary.
+  ServiceConfig config = small_config();
+  config.offered = 150;
+  config.cap = 16;
+  config.jobs = 1;  // all completions on this thread => exact TLS flush
+  AgreementService svc(config);
+
+  const std::uint64_t base = registry_counter("service.completed");
+  constexpr double kNever = std::numeric_limits<double>::infinity();
+  ArrivalGenerator gen(config.arrivals, config.seed);
+  svc.begin_run(config.offered);
+  std::uint64_t arrived = 0;
+  double next_arrival = gen.next();
+  double next_tick = kNever;
+  double now = 0.0;
+  while (svc.finished() < config.offered) {
+    if (arrived < config.offered && next_arrival <= next_tick) {
+      now = next_arrival;
+      const std::uint64_t id = arrived++;
+      next_arrival = arrived < config.offered ? gen.next() : kNever;
+      JobOffer offer;
+      offer.id = id;
+      offer.template_index =
+          draw_template_index(config.seed, id, svc.mix().size());
+      offer.adversary_index =
+          draw_adversary_index(config.seed, id, svc.adversary_count());
+      svc.offer_job(offer, now);
+      if (!svc.idle() && next_tick == kNever) {
+        next_tick = now + config.round_period;
+      }
+    } else {
+      ASSERT_NE(next_tick, kNever);
+      now = next_tick;
+      svc.step(now);
+      next_tick = svc.idle() ? kNever : now + config.round_period;
+    }
+    // The pin: the registry agrees with the event-loop tally *now*.
+    ASSERT_EQ(registry_counter("service.completed") - base,
+              svc.completed_so_far());
+  }
+  const ServiceResult result = svc.end_run(now);
+  EXPECT_EQ(result.completed, config.offered);
+  EXPECT_EQ(registry_counter("service.completed") - base, result.completed);
+
+  // The periodic samples carry the same instant-consistent tally: each
+  // point's completed figure is the event-loop tally at its instant, so
+  // the series is monotone, per-class slices sum to it, and the closing
+  // point equals the counter's final value.
+  config.sample_every = 0.5;
+  const std::uint64_t sampled_base = registry_counter("service.completed");
+  const ServiceResult sampled = run_service(config);
+  ASSERT_FALSE(sampled.samples.empty());
+  std::uint64_t prev = 0;
+  for (const ServiceSample& sample : sampled.samples) {
+    EXPECT_GE(sample.completed, prev);
+    std::uint64_t by_class = 0;
+    for (const std::uint64_t c : sample.completed_by_class) by_class += c;
+    EXPECT_EQ(by_class, sample.completed);
+    prev = sample.completed;
+  }
+  EXPECT_EQ(sampled.samples.back().completed, sampled.completed);
+  EXPECT_EQ(registry_counter("service.completed") - sampled_base,
+            sampled.completed);
+}
+#endif
 
 }  // namespace
 }  // namespace da::service

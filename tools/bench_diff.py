@@ -403,7 +403,59 @@ def self_test() -> int:
         == 2,
     )
 
-    # 8. Malformed quantile entries are skipped, not fatal.
+    # 8. The front-end and per-class rows (BM_FrontendThroughput/<jobs>,
+    # BM_ServiceClassLatency/<class>) follow the same full-name keying: a
+    # regression on one admission class flags that class alone, and a
+    # baseline that predates the front-end treats its rows as ADDED.
+    class_rows = {
+        "BM_ServiceClassLatency/0": 3.0,
+        "BM_ServiceClassLatency/1": 3.0,
+        "BM_ServiceClassLatency/2": 3.0,
+    }
+    status, lines = compare(
+        _report(benchmarks=class_rows),
+        _report(
+            benchmarks={
+                "BM_ServiceClassLatency/0": 3.1,
+                "BM_ServiceClassLatency/1": 6.0,
+                "BM_ServiceClassLatency/2": 3.1,
+            }
+        ),
+        threshold=15.0,
+    )
+    check("per-class regression exits 1", status == 1)
+    check(
+        "only the regressed class row is flagged",
+        any(
+            "BM_ServiceClassLatency/1" in line and "REGRESSION" in line
+            for line in lines
+        )
+        and not any(
+            "BM_ServiceClassLatency/0" in line and "REGRESSION" in line
+            for line in lines
+        ),
+    )
+    frontend_rows = {
+        "BM_FrontendThroughput/1": 30.0,
+        "BM_FrontendThroughput/4": 9.0,
+    }
+    status, lines = compare(
+        _report(benchmarks={"BM_ServiceThroughput/1": 25.0}),
+        _report(
+            benchmarks={"BM_ServiceThroughput/1": 25.0, **frontend_rows}
+        ),
+    )
+    check("new frontend rows vs old baseline exit 0", status == 0)
+    check(
+        "new frontend rows print as ADDED",
+        sum(
+            "BM_FrontendThroughput" in line and "ADDED" in line
+            for line in lines
+        )
+        == 2,
+    )
+
+    # 9. Malformed quantile entries are skipped, not fatal.
     status, _ = compare(
         _report(benchmarks={"BM_A": 1.0}, quantiles={"bad": {"p50": 1.0}}),
         _report(benchmarks={"BM_A": 1.0}, quantiles=base_q),
