@@ -261,6 +261,10 @@ void BM_BehaviorSearchCanonical(benchmark::State& state) {
   const da::Config config{.n = n, .m = 1, .u = n - 3};
   da::faults::BehaviorSearchOptions search;
   search.symmetry = symmetry;
+  // Subset quotient pinned off on both sides: these rows isolate what the
+  // receiver-orbit skip buys (BM_BehaviorSearchSubsetCanonical below
+  // measures the quotient on top of it).
+  search.subset_symmetry = false;
   da::sweep::SweepOptions options;
   options.jobs = 1;
   da::sweep::SweepStats stats;
@@ -278,6 +282,40 @@ BENCHMARK(BM_BehaviorSearchCanonical)
     ->Args({4, 1})
     ->Args({5, 0})
     ->Args({5, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Subset-conjugacy ablation: receiver symmetry on for both sides, the
+// faulty-subset quotient (docs/SEARCH.md §6) off vs on. range(0) = n,
+// range(1) = subset_symmetry; u = 2 so n = 6 is the (6,1,2) headline
+// regime where the quotient walks 4 of 21 nonempty segments. The
+// three-way differential in tests/test_canonicalization.cpp holds both
+// sides to identical verdicts and reconciled counts; this measures what
+// skipping conjugate segments buys (`executions` shrinks again while
+// `weighted` stays at the full 4^k space).
+void BM_BehaviorSearchSubsetCanonical(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool subset_symmetry = state.range(1) != 0;
+  const da::Config config{.n = n, .m = 1, .u = 2};
+  da::faults::BehaviorSearchOptions search;
+  search.symmetry = true;
+  search.subset_symmetry = subset_symmetry;
+  da::sweep::SweepOptions options;
+  options.jobs = 1;
+  da::sweep::SweepStats stats;
+  for (auto _ : state) {
+    const auto violation =
+        da::faults::exhaustive_behavior_search(config, search, options, &stats);
+    benchmark::DoNotOptimize(violation);
+  }
+  state.counters["executions"] = static_cast<double>(stats.executions);
+  state.counters["weighted"] = static_cast<double>(stats.weighted_executions);
+  state.counters["subset_symmetry"] = subset_symmetry ? 1 : 0;
+}
+BENCHMARK(BM_BehaviorSearchSubsetCanonical)
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({6, 0})
+    ->Args({6, 1})
     ->Unit(benchmark::kMillisecond);
 
 // Same ablation for the adversary-family search, whose checkpoint is the

@@ -4,6 +4,7 @@
 // back, and emit the final byte-deterministic artifact.
 //
 //   search_resume init    --out F [--n N --m M --u U] [--max-f K] [--seed S]
+//                         [--no-subset-symmetry]
 //   search_resume run     --frontier F [--jobs J] [--max-shards K]
 //                         [--no-symmetry] [--no-checkpointing]
 //   search_resume status  --frontier F
@@ -11,12 +12,22 @@
 //   search_resume merge   --out F part1 part2 ...
 //   search_resume artifact --frontier F [--out F2]
 //
+// `init` writes a subset-quotiented frontier (da-frontier v2) by
+// default; `--no-subset-symmetry` writes the full v1 plan. The choice is
+// baked into the file — `run` derives it from the class records, so v1
+// files keep resuming unquotiented (docs/SEARCH.md §6).
+//
 // `run` checkpoints the frontier back to its file after every settled
 // shard (atomic tmp+rename), so a `kill -9` mid-sweep loses at most the
 // in-flight shards' partial cursors; rerunning `run` resumes from the
 // last checkpoint and converges to the same normalized artifact for any
 // --jobs value and any interruption pattern (docs/SEARCH.md §5).
 // `artifact` refuses to print until the frontier has settled.
+//
+// `status` output is a pure function of the frontier bytes (frontiers
+// store no wall times, keeping artifacts machine-independent), so its
+// eta line only reports "settled" or the remaining-shard count; `run`
+// appends a live estimate from the shards it just timed.
 //
 // Exit status: 0 on success (for `run`: the verdict may be either way;
 // for `artifact`: frontier settled), 1 on a clean "not settled yet",
@@ -40,6 +51,7 @@ namespace {
       "usage:\n"
       "  search_resume init    --out F [--n N --m M --u U] [--max-f K] "
       "[--seed S]\n"
+      "                        [--no-subset-symmetry]\n"
       "  search_resume run     --frontier F [--jobs J] [--max-shards K]\n"
       "                        [--no-symmetry] [--no-checkpointing]\n"
       "  search_resume status  --frontier F\n"
@@ -77,11 +89,13 @@ void save_or_die(const da::faults::Frontier& frontier,
 void print_status(const da::faults::Frontier& frontier) {
   std::size_t settled = 0;
   std::uint64_t scanned = 0;
+  std::uint64_t covered = 0;
   std::uint64_t executions = 0;
   std::uint64_t weighted = 0;
   for (const da::faults::FrontierShard& s : frontier.shards) {
     if (s.settled()) ++settled;
     scanned += s.cursor - s.begin;
+    covered += s.end - s.begin;
     executions += s.executions;
     weighted += s.weighted;
   }
@@ -93,12 +107,41 @@ void print_status(const da::faults::Frontier& frontier) {
               static_cast<unsigned long long>(frontier.space),
               frontier.shards.size(),
               frontier.covers_space() ? "full plan" : "split part");
-  std::printf("progress      %zu/%zu shards settled, %llu ordinals scanned\n",
+  if (frontier.classes.empty()) {
+    std::printf("plan          unquotiented (da-frontier v1)\n");
+  } else {
+    std::printf("plan          subset-quotiented, %zu conjugacy classes "
+                "(da-frontier v2)\n",
+                frontier.classes.size());
+  }
+  // Percentages are over the *plan* (the shards this file owns — a split
+  // part reports its own completion, not the whole space's).
+  const double plan_pct =
+      covered == 0 ? 100.0
+                   : 100.0 * static_cast<double>(scanned) /
+                         static_cast<double>(covered);
+  std::printf("progress      %zu/%zu shards settled, %llu ordinals scanned "
+              "(%.1f%% of plan)\n",
               settled, frontier.shards.size(),
-              static_cast<unsigned long long>(scanned));
-  std::printf("executions    %llu representatives, %llu orbit-weighted\n",
+              static_cast<unsigned long long>(scanned), plan_pct);
+  const double space_pct =
+      frontier.space == 0 ? 100.0
+                          : 100.0 * static_cast<double>(weighted) /
+                                static_cast<double>(frontier.space);
+  std::printf("executions    %llu representatives, %llu orbit-weighted "
+              "(%.1f%% of space)\n",
               static_cast<unsigned long long>(executions),
-              static_cast<unsigned long long>(weighted));
+              static_cast<unsigned long long>(weighted), space_pct);
+  if (frontier.settled()) {
+    std::printf("eta           settled\n");
+  } else {
+    // Frontiers carry no wall times (artifacts stay byte-identical across
+    // machines), so a saved file cannot price the remaining work; `run`
+    // prints a live estimate from the shards it just timed.
+    std::printf("eta           unknown (%zu shards remaining; run prints a "
+                "live estimate)\n",
+                frontier.shards.size() - settled);
+  }
   const std::uint64_t hit = frontier.best_hit();
   if (hit == da::sweep::kNoHit) {
     std::printf("verdict       %s\n",
@@ -130,6 +173,30 @@ int cmd_run(const std::string& path, int jobs, int max_shards, bool symmetry,
   }
   save_or_die(frontier, path);
   print_status(frontier);
+  if (!frontier.settled()) {
+    // Live ETA from this run's own timing: average wall time of the
+    // shards that settled here, priced over the shards still open. Not
+    // part of the frontier (artifacts stay machine-independent).
+    double wall_ms = 0.0;
+    std::size_t timed = 0;
+    for (const da::sweep::ShardStats& s : run.stats.per_shard) {
+      if (s.worker >= 0 && s.cursor == s.end) {
+        wall_ms += s.wall_ms;
+        ++timed;
+      }
+    }
+    std::size_t remaining = 0;
+    for (const da::faults::FrontierShard& s : frontier.shards) {
+      if (!s.settled()) ++remaining;
+    }
+    if (timed > 0 && remaining > 0) {
+      const double per_shard = wall_ms / static_cast<double>(timed);
+      std::printf("live eta      ~%.0f ms (%zu shards at ~%.2f ms/shard "
+                  "this run)\n",
+                  per_shard * static_cast<double>(remaining), remaining,
+                  per_shard);
+    }
+  }
   if (run.violation.has_value()) {
     std::printf("violation     %s under %s: %s\n",
                 run.violation->spec.to_string().c_str(),
@@ -190,6 +257,7 @@ int main(int argc, char** argv) {
   int parts = 0;
   int max_shards = -1;
   bool symmetry = true;
+  bool subset_symmetry = true;
   bool checkpointing = true;
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
@@ -221,6 +289,8 @@ int main(int argc, char** argv) {
       max_shards = parse_int(arg, value());
     } else if (std::strcmp(arg, "--no-symmetry") == 0) {
       symmetry = false;
+    } else if (std::strcmp(arg, "--no-subset-symmetry") == 0) {
+      subset_symmetry = false;
     } else if (std::strcmp(arg, "--no-checkpointing") == 0) {
       checkpointing = false;
     } else if (arg[0] == '-') {
@@ -235,7 +305,7 @@ int main(int argc, char** argv) {
     const da::Config config{.n = n, .m = m, .u = u};
     if (!config.valid() || config.m > 1) usage("invalid config");
     const da::faults::Frontier frontier = da::faults::init_behavior_frontier(
-        config, max_f, static_cast<std::uint64_t>(seed));
+        config, max_f, static_cast<std::uint64_t>(seed), subset_symmetry);
     save_or_die(frontier, out);
     print_status(frontier);
     return 0;

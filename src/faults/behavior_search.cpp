@@ -53,6 +53,21 @@ const obs::Counter& canon_weight_counter() {
   return c;
 }
 
+// Subset-conjugacy accounting: classes walked, conjugate subsets they
+// stand for, and subsets skipped entirely (members - classes).
+const obs::Counter& subset_classes_counter() {
+  static const obs::Counter c("search.canon.subset_classes");
+  return c;
+}
+const obs::Counter& subset_members_counter() {
+  static const obs::Counter c("search.canon.subset_members");
+  return c;
+}
+const obs::Counter& subset_skipped_counter() {
+  static const obs::Counter c("search.canon.subset_skipped");
+  return c;
+}
+
 // Frontier-driver accounting.
 const obs::Counter& frontier_runs_counter() {
   static const obs::Counter c("search.frontier.runs");
@@ -165,23 +180,43 @@ struct Segment {
   std::vector<std::pair<NodeId, NodeId>> slots;
   SlotSymmetry sym;
   std::uint64_t base = 0;
+  /// Conjugate subsets this segment stands for (1 when the subset
+  /// quotient is off): every visit weight is multiplied by it.
+  std::uint64_t class_size = 1;
   /// Leading slots that are the faulty sender's round-0 broadcast (0 when
   /// the sender is honest). Everything after is a round-1 relay slot.
   std::size_t round0_slots = 0;
 };
 
-std::vector<Segment> build_segments(const Config& config, int limit) {
+/// Builds the representative segments. Bases always advance over *every*
+/// subset — the global ordinal space stays the unreduced one — but with
+/// `subset_symmetry` only one subset per conjugacy class materializes as
+/// a Segment; the rest become gaps the shard plan skips. Representatives
+/// are the lexicographically-first subsets of their class, which is also
+/// the class member with the smallest base, so the quotiented walk's
+/// first hit is the unquotiented walk's first hit (docs/SEARCH.md §6).
+std::vector<Segment> build_segments(const Config& config, int limit,
+                                    bool subset_symmetry) {
   std::vector<Segment> segments;
   std::uint64_t base = 0;
   for (int f = 1; f <= limit; ++f) {
     for_each_subset(config.n, f, [&](const std::vector<NodeId>& faulty) {
+      ScenarioSpec spec;
+      spec.config = config;
+      spec.sender = 0;
+      spec.sender_value = Value::of(7);
+      spec.faulty = faulty;
+      auto slots = controlled_slots(spec);
+      DA_EXPECTS(slots.size() <= 12);  // 4^12 = 16M: keep runs bounded
+      if (subset_symmetry &&
+          !is_subset_representative(config.n, spec.sender, faulty)) {
+        subset_skipped_counter().add();
+        base += pow_symbols(slots.size());
+        return;
+      }
       Segment seg;
-      seg.spec.config = config;
-      seg.spec.sender = 0;
-      seg.spec.sender_value = Value::of(7);
-      seg.spec.faulty = faulty;
-      seg.slots = controlled_slots(seg.spec);
-      DA_EXPECTS(seg.slots.size() <= 12);  // 4^12 = 16M: keep runs bounded
+      seg.spec = std::move(spec);
+      seg.slots = std::move(slots);
       seg.sym = make_slot_symmetry(seg.spec, seg.slots);
       seg.round0_slots = seg.spec.sender_faulty()
                              ? static_cast<std::size_t>(config.n - 1)
@@ -191,6 +226,12 @@ std::vector<Segment> build_segments(const Config& config, int limit) {
       for (std::size_t i = 0; i < seg.slots.size(); ++i) {
         DA_EXPECTS((seg.slots[i].first == seg.spec.sender) ==
                    (i < seg.round0_slots));
+      }
+      if (subset_symmetry) {
+        seg.class_size =
+            subset_class_size(config.n, seg.spec.sender, seg.spec.faulty);
+        subset_classes_counter().add();
+        subset_members_counter().add(seg.class_size);
       }
       seg.base = base;
       base += pow_symbols(seg.slots.size());
@@ -219,19 +260,43 @@ struct ShardState {
 class BehaviorSweep {
  public:
   BehaviorSweep(const Config& config, int limit, bool checkpointing,
-                bool symmetry)
+                bool symmetry, bool subset_symmetry)
       : checkpointing_(checkpointing),
         symmetry_(symmetry),
+        subset_symmetry_(subset_symmetry),
         protocol_(config),
-        segments_(build_segments(config, limit)) {
+        segments_(build_segments(config, limit, subset_symmetry)) {
     for (const Segment& seg : segments_) {
+      // Skipped conjugate segments are gaps: the plan advances its
+      // ordinal space over them without creating shards, so every
+      // remaining shard keeps its unreduced global ordinals.
+      if (seg.base > plan_.total()) plan_.skip(seg.base - plan_.total());
       plan_.append_pow4(seg.slots.size());
     }
+    const std::uint64_t space = behavior_search_space(config, limit);
+    if (space > plan_.total()) plan_.skip(space - plan_.total());
     candidates_.resize(plan_.shard_count());
     shard_states_.resize(checkpointing_ ? plan_.shard_count() : 0);
   }
 
   [[nodiscard]] const sweep::ShardPlan& plan() const { return plan_; }
+
+  /// The conjugacy-class table in frontier form (empty when the subset
+  /// quotient is off — the segments then tile the space contiguously and
+  /// the frontier serializes as v1).
+  [[nodiscard]] std::vector<FrontierClass> classes() const {
+    std::vector<FrontierClass> out;
+    if (!subset_symmetry_) return out;
+    out.reserve(segments_.size());
+    for (const Segment& seg : segments_) {
+      FrontierClass cls;
+      cls.base = seg.base;
+      cls.size = pow_symbols(seg.slots.size());
+      cls.weight = seg.class_size;
+      out.push_back(cls);
+    }
+    return out;
+  }
 
   [[nodiscard]] sweep::Visitor visitor() {
     return [this](std::uint64_t ordinal, std::size_t shard, Rng&) {
@@ -277,7 +342,10 @@ class BehaviorSweep {
     const std::size_t slots = seg.slots.size();
     const auto alphabet = alphabet_for(seg.spec.sender_value);
 
-    std::uint64_t weight = 1;
+    // Weight starts at the subset-conjugacy class size (1 unquotiented)
+    // and picks up the receiver-orbit size below; the product is what a
+    // clean sweep reconciles against the full unreduced space.
+    std::uint64_t weight = seg.class_size;
     if (symmetry_) {
       if (!seg.sym.trivial()) {
         // Non-canonical prefix: leap to the orbit's next representative.
@@ -292,7 +360,7 @@ class BehaviorSweep {
           skip.next = seg.base + canon;
           return skip;
         }
-        weight = orbit_size(seg.sym, counter);
+        weight = checked_mul(weight, orbit_size(seg.sym, counter));
       }
       canon_representatives_counter().add();
       canon_weight_counter().add(weight);
@@ -384,6 +452,7 @@ class BehaviorSweep {
 
   bool checkpointing_;
   bool symmetry_;
+  bool subset_symmetry_;
   DegradableAgreement protocol_;
   std::vector<Segment> segments_;
   sweep::ShardPlan plan_;
@@ -403,7 +472,8 @@ std::optional<Violation> exhaustive_behavior_search(
   DA_EXPECTS(config.valid());
   DA_EXPECTS(config.m <= 1);  // depth-2 instances only
   BehaviorSweep search(config, resolve_limit(config, options.max_f),
-                       options.checkpointing, options.symmetry);
+                       options.checkpointing, options.symmetry,
+                       options.subset_symmetry);
   const sweep::SweepResult result =
       sweep::run_sweep(search.plan(), sweep_options, search.visitor());
   if (stats != nullptr) *stats = result.stats;
@@ -459,29 +529,51 @@ std::uint64_t behavior_search_canonical_space(const Config& config,
   return total;
 }
 
+std::uint64_t behavior_search_quotient_space(const Config& config,
+                                             int max_f) {
+  DA_EXPECTS(config.valid());
+  const int limit = resolve_limit(config, max_f);
+  std::uint64_t total = 0;
+  for (int f = 1; f <= limit; ++f) {
+    for_each_subset(config.n, f, [&](const std::vector<NodeId>& faulty) {
+      ScenarioSpec spec;
+      spec.config = config;
+      spec.sender = 0;
+      spec.faulty = faulty;
+      if (!is_subset_representative(config.n, spec.sender, faulty)) return;
+      const auto slots = controlled_slots(spec);
+      total += canonical_count(make_slot_symmetry(spec, slots));
+    });
+  }
+  return total;
+}
+
 std::optional<Violation> behavior_at(const Config& config, int max_f,
                                      std::uint64_t ordinal) {
   DA_EXPECTS(config.valid());
   DA_EXPECTS(config.m <= 1);
   const int limit = resolve_limit(config, max_f);
   DA_EXPECTS(ordinal < behavior_search_space(config, limit));
+  // Unquotiented on purpose: any full-space ordinal must resolve, not
+  // just ordinals inside representative segments.
   BehaviorSweep search(config, limit, /*checkpointing=*/false,
-                       /*symmetry=*/false);
+                       /*symmetry=*/false, /*subset_symmetry=*/false);
   return search.at(ordinal);
 }
 
 Frontier init_behavior_frontier(const Config& config, int max_f,
-                                std::uint64_t seed) {
+                                std::uint64_t seed, bool subset_symmetry) {
   DA_EXPECTS(config.valid());
   DA_EXPECTS(config.m <= 1);
   const int limit = resolve_limit(config, max_f);
   BehaviorSweep search(config, limit, /*checkpointing=*/false,
-                       /*symmetry=*/false);
+                       /*symmetry=*/false, subset_symmetry);
   Frontier frontier;
   frontier.config = config;
   frontier.max_f = limit;  // resolved, so the header is self-contained
   frontier.seed = seed;
   frontier.space = behavior_search_space(config, limit);
+  frontier.classes = search.classes();
   frontier.shards.reserve(search.plan().shard_count());
   for (std::size_t s = 0; s < search.plan().shard_count(); ++s) {
     const sweep::ShardRange range = search.plan().shard(s);
@@ -507,8 +599,24 @@ FrontierRun run_behavior_frontier(Frontier& frontier,
     run.error = "frontier space does not match the search space";
     return run;
   }
+  // The subset quotient is baked into the frontier: class records mean a
+  // quotiented plan; their absence (a v1 file) means the full plan.
+  const bool subset_symmetry = !frontier.classes.empty();
   BehaviorSweep search(frontier.config, limit, options.checkpointing,
-                       options.symmetry);
+                       options.symmetry, subset_symmetry);
+  if (subset_symmetry) {
+    const std::vector<FrontierClass> expected = search.classes();
+    bool match = frontier.classes.size() == expected.size();
+    for (std::size_t i = 0; match && i < expected.size(); ++i) {
+      match = frontier.classes[i].base == expected[i].base &&
+              frontier.classes[i].size == expected[i].size &&
+              frontier.classes[i].weight == expected[i].weight;
+    }
+    if (!match) {
+      run.error = "frontier classes do not match the search's class plan";
+      return run;
+    }
+  }
   const sweep::ShardPlan& plan = search.plan();
 
   // Map frontier shards onto plan shards (the frontier may be a split

@@ -54,6 +54,13 @@ struct BehaviorSearchOptions {
   /// to `behavior_search_space`) are identical to the unreduced walk;
   /// only `executions` shrinks, to the representatives actually run.
   bool symmetry = true;
+  /// Walk only one faulty subset per conjugacy class under sender-fixing
+  /// node permutations, weighting its results by the class size
+  /// (docs/SEARCH.md §6). Composes with `symmetry`: a representative's
+  /// weight is its receiver-orbit size times its subset class size.
+  /// Verdict, first-hit ordinal and weighted counts stay pinned to the
+  /// unquotiented walk; the skipped segments never execute at all.
+  bool subset_symmetry = true;
 };
 
 /// Parallel form: the same sweep, sharded deterministically over the
@@ -95,6 +102,13 @@ struct BehaviorSearchOptions {
 [[nodiscard]] std::uint64_t behavior_search_canonical_space(
     const Config& config, int max_f = -1);
 
+/// Number of representatives the fully quotiented walk (receiver orbits
+/// plus subset conjugacy, both defaults) executes on a clean sweep: the
+/// canonical count summed over representative subsets only. Always <=
+/// behavior_search_canonical_space.
+[[nodiscard]] std::uint64_t behavior_search_quotient_space(
+    const Config& config, int max_f = -1);
+
 /// Re-executes the single behaviour at a global ordinal (scratch path, no
 /// sweep) and reports its violation, if any. This is how a resumed
 /// frontier rematerializes the Violation for a hit ordinal recorded by an
@@ -106,10 +120,15 @@ struct BehaviorSearchOptions {
 /// Builds a fresh (untouched) frontier for the behaviour search: one
 /// record per sweep shard, cursors at their shard heads. `seed` is
 /// stored in the frontier so every resuming process derives identical
-/// per-shard RNG streams.
+/// per-shard RNG streams. With `subset_symmetry` (the default) the
+/// frontier is quotiented — it carries one class record per conjugacy
+/// class and serializes as `da-frontier v2`; pass false for the full v1
+/// plan. The quotient choice is baked into the frontier (derived from
+/// its class records on resume), so v1 files keep resuming unquotiented.
 [[nodiscard]] Frontier init_behavior_frontier(const Config& config,
                                               int max_f = -1,
-                                              std::uint64_t seed = 1);
+                                              std::uint64_t seed = 1,
+                                              bool subset_symmetry = true);
 
 struct FrontierRunOptions {
   int jobs = 1;
@@ -118,6 +137,10 @@ struct FrontierRunOptions {
   /// cooperative: in-flight shards park their cursors in the frontier.
   int max_shards = -1;
   bool checkpointing = true;
+  /// Receiver-relabeling reduction for this run. A run-time knob because
+  /// it changes which ordinals execute, never the shard plan. The subset
+  /// quotient is *not* a run option: it reshapes the plan, so it is baked
+  /// into the frontier at init time and derived from its class records.
   bool symmetry = true;
   /// Invoked (serialized, from worker threads) with the updated frontier
   /// each time a shard settles — hook the atomic save_frontier here for

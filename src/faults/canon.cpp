@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <limits>
 
 #include "util/contracts.hpp"
 
@@ -75,13 +76,38 @@ std::uint64_t write_column(const SlotSymmetry& sym, std::uint64_t counter,
   return counter;
 }
 
-std::uint64_t factorial(std::uint64_t k) {
+}  // namespace
+
+std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  DA_EXPECTS(a <= std::numeric_limits<std::uint64_t>::max() / b);
+  return a * b;
+}
+
+std::uint64_t checked_factorial(std::uint64_t k) {
   std::uint64_t out = 1;
-  for (std::uint64_t i = 2; i <= k; ++i) out *= i;
+  for (std::uint64_t i = 2; i <= k; ++i) out = checked_mul(out, i);
   return out;
 }
 
-}  // namespace
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t r = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    // r * (n-k+i) / i is exact: r * (n-k+i) = C(n-k+i, i) * i!/(i-1)! * ...
+    // — the running value is always i * C(n-k+i, i) before the division.
+    r = checked_mul(r, n - k + i) / i;
+  }
+  return r;
+}
+
+std::uint64_t multichoose(std::uint64_t n, std::uint64_t k) {
+  if (k == 0) return 1;
+  DA_EXPECTS(n >= 1);
+  DA_EXPECTS(n - 1 <= std::numeric_limits<std::uint64_t>::max() - k);
+  return binomial(n + k - 1, k);
+}
 
 SlotSymmetry make_slot_symmetry(
     const ScenarioSpec& spec,
@@ -141,13 +167,13 @@ std::uint64_t orbit_size(const SlotSymmetry& sym, std::uint64_t counter) {
   }
   std::sort(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(
                                              sym.free_count));
-  std::uint64_t orbit = factorial(sym.free_count);
+  std::uint64_t orbit = checked_factorial(sym.free_count);
   std::size_t run = 1;
   for (std::size_t j = 1; j <= sym.free_count; ++j) {
     if (j < sym.free_count && keys[j] == keys[j - 1]) {
       ++run;
     } else {
-      orbit /= factorial(run);
+      orbit /= checked_factorial(run);
       run = 1;
     }
   }
@@ -172,17 +198,44 @@ std::uint64_t next_canonical(const SlotSymmetry& sym, std::uint64_t counter) {
 std::uint64_t canonical_count(const SlotSymmetry& sym) {
   const std::size_t fixed = sym.slots - sym.rows * sym.free_count;
   std::uint64_t out = 1;
-  for (std::size_t i = 0; i < fixed; ++i) out *= 4;
+  for (std::size_t i = 0; i < fixed; ++i) out = checked_mul(out, 4);
   if (sym.rows == 0 || sym.free_count == 0) return out;
-  // multichoose(4^rows, r) = C(4^rows + r - 1, r), built incrementally so
-  // every intermediate is itself a binomial coefficient (exact division).
+  // Each orbit picks a sorted multiset of r columns out of the 4^rows
+  // possible per-receiver column vectors.
   std::uint64_t columns = 1;
-  for (std::size_t i = 0; i < sym.rows; ++i) columns *= 4;
-  std::uint64_t choose = 1;
-  for (std::uint64_t k = 1; k <= sym.free_count; ++k) {
-    choose = choose * (columns - 1 + k) / k;
+  for (std::size_t i = 0; i < sym.rows; ++i) columns = checked_mul(columns, 4);
+  return checked_mul(out, multichoose(columns, sym.free_count));
+}
+
+std::vector<NodeId> canonical_subset(int n, NodeId sender,
+                                     const std::vector<NodeId>& faulty) {
+  DA_EXPECTS(static_cast<int>(faulty.size()) <= n);
+  const bool has_sender =
+      std::find(faulty.begin(), faulty.end(), sender) != faulty.end();
+  std::vector<NodeId> out;
+  out.reserve(faulty.size());
+  if (has_sender) out.push_back(sender);
+  for (NodeId id = 0; id < n && out.size() < faulty.size(); ++id) {
+    if (id == sender) continue;
+    out.push_back(id);
   }
-  return out * choose;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool is_subset_representative(int n, NodeId sender,
+                              const std::vector<NodeId>& faulty) {
+  return faulty == canonical_subset(n, sender, faulty);
+}
+
+std::uint64_t subset_class_size(int n, NodeId sender,
+                                const std::vector<NodeId>& faulty) {
+  DA_EXPECTS(n >= 1 && static_cast<int>(faulty.size()) <= n);
+  const bool has_sender =
+      std::find(faulty.begin(), faulty.end(), sender) != faulty.end();
+  const auto non_senders = static_cast<std::uint64_t>(n - 1);
+  const auto f = static_cast<std::uint64_t>(faulty.size());
+  return has_sender ? binomial(non_senders, f - 1) : binomial(non_senders, f);
 }
 
 std::uint64_t permute_free_receivers(const SlotSymmetry& sym,

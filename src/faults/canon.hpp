@@ -106,4 +106,52 @@ struct SlotSymmetry {
     const SlotSymmetry& sym, std::uint64_t counter,
     const std::vector<std::size_t>& perm);
 
+// ---------------------------------------------------------------------
+// Checked orbit arithmetic. Orbit sizes, canonical counts and conjugacy
+// class sizes multiply factorials, powers of four and binomials in
+// uint64; all of it funnels through these helpers so a parameter regime
+// that would silently wrap instead trips a DA_EXPECTS contract.
+
+/// a * b, guarded: DA_EXPECTS the product fits in uint64.
+[[nodiscard]] std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b);
+
+/// k!, guarded (k <= 20 is the largest representable).
+[[nodiscard]] std::uint64_t checked_factorial(std::uint64_t k);
+
+/// C(n, k), guarded; 0 when k > n. Built multiplicatively with exact
+/// intermediate division, so the guard fires only when an intermediate
+/// binomial itself exceeds uint64.
+[[nodiscard]] std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+/// Multisets of size k over n symbols: C(n + k - 1, k), guarded.
+[[nodiscard]] std::uint64_t multichoose(std::uint64_t n, std::uint64_t k);
+
+// ---------------------------------------------------------------------
+// Subset conjugacy (docs/SEARCH.md §6). Node permutations that fix the
+// sender act on faulty subsets by relabeling; two subsets in the same
+// orbit of that action ("conjugate" subsets) induce behaviour segments
+// that are isomorphic slot-for-slot, so the search need only walk one
+// representative subset per class and weight it by the class size. The
+// action is the full symmetric group on the n-1 non-sender nodes, so a
+// class is determined by (f, sender in subset?): its size is C(n-1, f-1)
+// when the sender is faulty and C(n-1, f) when it is honest.
+
+/// The canonical representative of `faulty`'s conjugacy class: the
+/// lexicographically-first subset with the same size and the same
+/// sender-membership (sender plus the smallest non-sender ids, or just
+/// the smallest non-sender ids). Sorted ascending; idempotent. Because
+/// segments are enumerated in lexicographic subset order, this is also
+/// the class member with the smallest segment base ordinal.
+[[nodiscard]] std::vector<NodeId> canonical_subset(
+    int n, NodeId sender, const std::vector<NodeId>& faulty);
+
+/// True iff `faulty` (sorted) is its class's canonical representative.
+[[nodiscard]] bool is_subset_representative(
+    int n, NodeId sender, const std::vector<NodeId>& faulty);
+
+/// Number of subsets conjugate to `faulty` (its class included):
+/// C(n-1, f-1) when the sender is faulty, C(n-1, f) otherwise.
+[[nodiscard]] std::uint64_t subset_class_size(
+    int n, NodeId sender, const std::vector<NodeId>& faulty);
+
 }  // namespace da::faults

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "obs/metrics.hpp"
@@ -12,7 +13,8 @@ namespace da::faults {
 namespace {
 
 constexpr std::string_view kMagic = "da-frontier";
-constexpr std::string_view kVersion = "v1";
+constexpr std::string_view kVersionPlain = "v1";
+constexpr std::string_view kVersionQuotient = "v2";
 
 const obs::Counter& saves_counter() {
   static const obs::Counter c("search.frontier.saves");
@@ -29,10 +31,41 @@ FrontierParse fail(std::string error) {
   return out;
 }
 
+/// Validates the class table (v2): sorted by base, disjoint, in-range,
+/// and reconciling exactly to the unreduced space (sum of size * weight
+/// == space — the corruption check that catches dropped class lines).
+std::string check_classes(const Frontier& frontier) {
+  std::uint64_t prev_end = 0;
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < frontier.classes.size(); ++i) {
+    const FrontierClass& c = frontier.classes[i];
+    if (c.size == 0 || c.weight == 0) return "invalid class record";
+    if (c.base > frontier.space - c.size || c.size > frontier.space) {
+      return "class beyond space";
+    }
+    if (i > 0 && c.base < prev_end) {
+      return c.base == frontier.classes[i - 1].base ? "duplicate class"
+                                                    : "overlapping classes";
+    }
+    prev_end = c.end();
+    const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max();
+    if (c.weight > (limit - covered) / c.size) {
+      return "class weights overflow";
+    }
+    covered += c.size * c.weight;
+  }
+  if (!frontier.classes.empty() && covered != frontier.space) {
+    return "class weights do not reconcile to the space";
+  }
+  return {};
+}
+
 /// Validates shard geometry shared by the parser and the merger: sorted,
-/// in-range, non-overlapping, cursors and hits consistent.
+/// in-range, non-overlapping, cursors and hits consistent — and, on a
+/// quotiented frontier, contained in some class's representative range.
 std::string check_shards(const Frontier& frontier) {
   std::uint64_t prev_end = 0;
+  std::size_t cls = 0;
   for (std::size_t i = 0; i < frontier.shards.size(); ++i) {
     const FrontierShard& s = frontier.shards[i];
     if (s.begin >= s.end) return "empty shard range";
@@ -47,14 +80,38 @@ std::string check_shards(const Frontier& frontier) {
       if (s.hit < s.begin || s.hit >= s.end) return "hit outside shard";
       if (s.cursor != s.end) return "hit with unsettled cursor";
     }
+    if (!frontier.classes.empty()) {
+      // Shards and classes are both sorted, so one forward walk suffices.
+      while (cls < frontier.classes.size() &&
+             frontier.classes[cls].end() <= s.begin) {
+        ++cls;
+      }
+      if (cls >= frontier.classes.size() ||
+          s.begin < frontier.classes[cls].base ||
+          s.end > frontier.classes[cls].end()) {
+        return "shard outside class ranges";
+      }
+    }
   }
   return {};
+}
+
+bool same_classes(const Frontier& a, const Frontier& b) {
+  if (a.classes.size() != b.classes.size()) return false;
+  for (std::size_t i = 0; i < a.classes.size(); ++i) {
+    if (a.classes[i].base != b.classes[i].base ||
+        a.classes[i].size != b.classes[i].size ||
+        a.classes[i].weight != b.classes[i].weight) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool same_header(const Frontier& a, const Frontier& b) {
   return a.config.n == b.config.n && a.config.m == b.config.m &&
          a.config.u == b.config.u && a.max_f == b.max_f && a.seed == b.seed &&
-         a.space == b.space;
+         a.space == b.space && same_classes(a, b);
 }
 
 }  // namespace
@@ -66,12 +123,29 @@ std::uint64_t Frontier::best_hit() const {
 }
 
 bool Frontier::covers_space() const {
-  std::uint64_t next = 0;
-  for (const FrontierShard& s : shards) {
-    if (s.begin != next) return false;
-    next = s.end;
+  if (classes.empty()) {
+    std::uint64_t next = 0;
+    for (const FrontierShard& s : shards) {
+      if (s.begin != next) return false;
+      next = s.end;
+    }
+    return next == space && space > 0;
   }
-  return next == space && space > 0;
+  // Quotiented: the shards must tile exactly the union of the class
+  // representative ranges (both lists are sorted by base).
+  std::size_t j = 0;
+  for (const FrontierClass& c : classes) {
+    std::uint64_t next = c.base;
+    while (next < c.end()) {
+      if (j >= shards.size() || shards[j].begin != next ||
+          shards[j].end > c.end()) {
+        return false;
+      }
+      next = shards[j].end;
+      ++j;
+    }
+  }
+  return j == shards.size() && space > 0;
 }
 
 bool Frontier::settled() const {
@@ -98,15 +172,23 @@ void Frontier::normalize() {
 
 std::string serialize_frontier(const Frontier& frontier) {
   Frontier sorted = frontier;
+  std::sort(sorted.classes.begin(), sorted.classes.end(),
+            [](const FrontierClass& a, const FrontierClass& b) {
+              return a.base < b.base;
+            });
   std::sort(sorted.shards.begin(), sorted.shards.end(),
             [](const FrontierShard& a, const FrontierShard& b) {
               return a.begin < b.begin;
             });
   std::ostringstream out;
-  out << kMagic << ' ' << kVersion << '\n';
+  out << kMagic << ' '
+      << (sorted.classes.empty() ? kVersionPlain : kVersionQuotient) << '\n';
   out << "config " << sorted.config.n << ' ' << sorted.config.m << ' '
       << sorted.config.u << ' ' << sorted.max_f << ' ' << sorted.seed << ' '
       << sorted.space << '\n';
+  for (const FrontierClass& c : sorted.classes) {
+    out << "class " << c.base << ' ' << c.size << ' ' << c.weight << '\n';
+  }
   for (const FrontierShard& s : sorted.shards) {
     out << "shard " << s.begin << ' ' << s.end << ' ' << s.cursor << ' '
         << s.executions << ' ' << s.weighted << ' ';
@@ -126,13 +208,16 @@ FrontierParse parse_frontier(std::string_view text) {
   std::string line;
 
   if (!std::getline(in, line)) return fail("empty frontier");
+  bool quotient = false;
   {
     std::istringstream header(line);
     std::string magic;
     std::string version;
     header >> magic >> version;
     if (magic != kMagic) return fail("not a frontier file");
-    if (version != kVersion) {
+    if (version == kVersionQuotient) {
+      quotient = true;
+    } else if (version != kVersionPlain) {
       return fail("unsupported frontier version: " + version);
     }
   }
@@ -165,6 +250,17 @@ FrontierParse parse_frontier(std::string_view text) {
       terminated = true;
       break;
     }
+    if (tag == "class") {
+      if (!quotient) return fail("class record in a v1 frontier");
+      if (!frontier.shards.empty()) {
+        return fail("class record after shard records");
+      }
+      FrontierClass cls;
+      rec >> cls.base >> cls.size >> cls.weight;
+      if (rec.fail()) return fail("malformed class line");
+      frontier.classes.push_back(cls);
+      continue;
+    }
     if (tag != "shard") return fail("unknown record: " + tag);
     FrontierShard shard;
     std::string hit;
@@ -183,6 +279,12 @@ FrontierParse parse_frontier(std::string_view text) {
     frontier.shards.push_back(shard);
   }
   if (!terminated) return fail("truncated frontier: missing end record");
+  if (quotient && frontier.classes.empty()) {
+    return fail("v2 frontier without class records");
+  }
+  if (std::string error = check_classes(frontier); !error.empty()) {
+    return fail(std::move(error));
+  }
   if (std::string error = check_shards(frontier); !error.empty()) {
     return fail(std::move(error));
   }
@@ -199,6 +301,7 @@ std::vector<Frontier> split_frontier(const Frontier& frontier,
     part.max_f = frontier.max_f;
     part.seed = frontier.seed;
     part.space = frontier.space;
+    part.classes = frontier.classes;
   }
   for (std::size_t i = 0; i < frontier.shards.size(); ++i) {
     out[i % out.size()].shards.push_back(frontier.shards[i]);
@@ -213,6 +316,7 @@ FrontierParse merge_frontiers(const std::vector<Frontier>& parts) {
   merged.max_f = parts.front().max_f;
   merged.seed = parts.front().seed;
   merged.space = parts.front().space;
+  merged.classes = parts.front().classes;
   for (const Frontier& part : parts) {
     if (!same_header(part, merged)) return fail("header mismatch");
     merged.shards.insert(merged.shards.end(), part.shards.begin(),

@@ -27,11 +27,30 @@ namespace da::faults {
 ///     ...
 ///     end <shard_count>
 ///
+/// Version 2 adds the subset-conjugacy quotient (docs/SEARCH.md §6): one
+/// `class` record per representative segment, between the config line and
+/// the shard lines —
+///
+///     da-frontier v2
+///     config <n> <m> <u> <max_f> <seed> <space>
+///     class <base> <size> <weight>
+///     ...
+///     shard <begin> <end> <cursor> <executions> <weighted> <hit|->
+///     ...
+///     end <shard_count>
+///
+/// `space` stays the *full* unreduced ordinal space in both versions;
+/// class records pin which representative ranges the shards actually
+/// tile and how many conjugate segments each stands for, and the parser
+/// rejects any file whose class weights do not reconcile exactly to the
+/// space (sum of size*weight == space). A v1 file (no classes) describes
+/// an unquotiented search, and both versions remain parseable.
+///
 /// Shards are sorted by `begin`, must not overlap, and duplicates are
 /// rejected; the `end` trailer guards against truncation. A file may
 /// hold a *subset* of the plan's shards (the unit of distribution for
-/// split/merge) — only a frontier whose shards cover the whole space can
-/// settle a verdict.
+/// split/merge) — only a frontier whose shards cover the whole space
+/// (v2: every class's representative range) can settle a verdict.
 struct FrontierShard {
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
@@ -43,18 +62,35 @@ struct FrontierShard {
   [[nodiscard]] bool settled() const { return cursor == end; }
 };
 
+/// One subset-conjugacy class (v2): the representative segment's base
+/// ordinal and size in the unreduced space, plus how many conjugate
+/// segments it stands for. Weighted counters multiply by `weight`, so a
+/// clean quotiented sweep still reconciles to the full space.
+struct FrontierClass {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+  std::uint64_t weight = 0;
+
+  [[nodiscard]] std::uint64_t end() const { return base + size; }
+};
+
 struct Frontier {
   Config config{};
   int max_f = -1;
   std::uint64_t seed = 1;
   std::uint64_t space = 0;  ///< full (unreduced) ordinal space, 4^k summed
+  /// Subset-conjugacy classes, sorted by base, disjoint. Empty means the
+  /// search is unquotiented (and the file serializes as v1).
+  std::vector<FrontierClass> classes;
   std::vector<FrontierShard> shards;  ///< sorted by begin, non-overlapping
 
   /// Smallest recorded hit ordinal across shards, or sweep::kNoHit.
   [[nodiscard]] std::uint64_t best_hit() const;
 
-  /// True when the shards tile [0, space) exactly — i.e. this frontier is
-  /// the whole plan, not a split part.
+  /// True when the shards tile the scanned space exactly — [0, space)
+  /// for an unquotiented frontier, the union of class representative
+  /// ranges for a quotiented one — i.e. this frontier is the whole plan,
+  /// not a split part.
   [[nodiscard]] bool covers_space() const;
 
   /// True when the verdict is final: the shards cover the space and every
@@ -70,7 +106,8 @@ struct Frontier {
   void normalize();
 };
 
-/// Renders the frontier in the v1 text format (shards re-sorted by begin).
+/// Renders the frontier in its text format — v2 when it carries classes,
+/// v1 otherwise (shards re-sorted by begin).
 [[nodiscard]] std::string serialize_frontier(const Frontier& frontier);
 
 struct FrontierParse {
@@ -80,9 +117,12 @@ struct FrontierParse {
   [[nodiscard]] bool ok() const { return frontier.has_value(); }
 };
 
-/// Strict parser for the v1 format: rejects unknown versions, truncated
-/// files (missing or miscounted `end` trailer), malformed records,
-/// duplicate or overlapping shards, and out-of-range cursors/hits.
+/// Strict parser for the v1/v2 formats: rejects unknown versions,
+/// truncated files (missing or miscounted `end` trailer), malformed
+/// records, duplicate or overlapping shards or classes, out-of-range
+/// cursors/hits, v2 files whose class weights do not reconcile to the
+/// space, shards outside every class range, and class records in a v1
+/// file.
 [[nodiscard]] FrontierParse parse_frontier(std::string_view text);
 
 /// Splits a frontier into `parts` frontiers with the same header, dealing

@@ -4,6 +4,7 @@
 
 #include "core/byz.hpp"
 #include "faults/adversaries.hpp"
+#include "faults/canon.hpp"
 #include "obs/metrics.hpp"
 #include "sim/round_engine.hpp"
 #include "util/contracts.hpp"
@@ -65,20 +66,6 @@ std::vector<NamedAdversaryFactory> standard_family(std::uint64_t seed) {
   return family;
 }
 
-namespace {
-
-std::uint64_t binomial(int n, int k) {
-  if (k < 0 || k > n) return 0;
-  std::uint64_t r = 1;
-  for (int i = 1; i <= k; ++i) {
-    r = r * static_cast<std::uint64_t>(n - k + i) /
-        static_cast<std::uint64_t>(i);
-  }
-  return r;
-}
-
-}  // namespace
-
 std::uint64_t search_space_size(const Config& config,
                                 const SearchOptions& options) {
   const int max_f = options.max_f < 0 ? config.u : options.max_f;
@@ -87,7 +74,10 @@ std::uint64_t search_space_size(const Config& config,
   const std::uint64_t advs = standard_family(options.seed).size();
   std::uint64_t subsets = 0;
   for (int f = 0; f <= max_f; ++f) {
-    subsets += binomial(config.n, f) +
+    // canon's overflow-checked binomial: a runaway (n, max_f) request
+    // trips a contract instead of silently wrapping the space size.
+    subsets += binomial(static_cast<std::uint64_t>(config.n),
+                        static_cast<std::uint64_t>(f)) +
                static_cast<std::uint64_t>(options.random_trials);
   }
   return senders * advs * subsets;

@@ -45,6 +45,12 @@ std::uint64_t ShardPlan::append_even(std::uint64_t count,
   return base;
 }
 
+std::uint64_t ShardPlan::skip(std::uint64_t count) {
+  const std::uint64_t base = total_;
+  total_ += count;
+  return base;
+}
+
 ShardPlan ShardPlan::even(std::uint64_t total, std::uint64_t target_block) {
   ShardPlan plan;
   plan.append_even(total, target_block);

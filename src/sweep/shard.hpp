@@ -49,6 +49,12 @@ class ShardPlan {
   std::uint64_t append_even(std::uint64_t count,
                             std::uint64_t target_block = kDefaultBlock);
 
+  /// Advances the ordinal space by `count` without creating any shard — a
+  /// gap no worker ever scans. Quotiented enumerations use this to leave
+  /// out whole segments while keeping every remaining shard's global
+  /// ordinals pinned to the unreduced space. Returns the gap's base.
+  std::uint64_t skip(std::uint64_t count);
+
   /// Convenience: a plan that is one even segment over [0, total).
   [[nodiscard]] static ShardPlan even(std::uint64_t total,
                                       std::uint64_t target_block =

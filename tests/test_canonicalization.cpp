@@ -1,12 +1,15 @@
-// Receiver-relabeling symmetry (faults/canon.hpp): property tests of the
-// canonical form itself against brute force on exhaustively enumerable
-// segments, orbit invariance of real protocol executions for all six
-// protocols, and a corpus-first differential suite pinning the
-// symmetry-reduced behaviour search to the full enumeration — identical
-// verdicts, identical first-hit ordinals, and orbit-weighted execution
-// counts that reconcile exactly against the unreduced 4^k space. Corpus
-// lines in tests/corpus/canonicalization.txt are replayed first; append
-// any config a randomized or field failure flags.
+// Symmetry reductions of the behaviour search (faults/canon.hpp):
+// property tests of the receiver-relabeling canonical form against brute
+// force on exhaustively enumerable segments, subset-conjugacy classes
+// checked against full subset enumeration, orbit and conjugacy invariance
+// of real protocol executions for all six protocols, boundary tests of
+// the checked orbit arithmetic, and a corpus-first three-way differential
+// suite pinning the receiver-canonical and subset-quotient walks to the
+// full enumeration — identical verdicts, identical first-hit ordinals,
+// and orbit-weighted execution counts that reconcile exactly against the
+// unreduced 4^k space. Corpus lines in tests/corpus/canonicalization.txt
+// are replayed first; append any config a randomized or field failure
+// flags.
 
 #include "faults/canon.hpp"
 
@@ -19,6 +22,7 @@
 #include <numeric>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -175,6 +179,147 @@ TEST(CanonProperties, RandomPermutationsPreserveOrbitData) {
   }
 }
 
+// -------------------------------------------- checked orbit arithmetic
+
+TEST(CanonChecked, FactorialBoundary) {
+  EXPECT_EQ(faults::checked_factorial(0), 1u);
+  EXPECT_EQ(faults::checked_factorial(1), 1u);
+  // 20! is the largest factorial representable in uint64; 21! trips the
+  // DA_EXPECTS contract instead of silently wrapping.
+  EXPECT_EQ(faults::checked_factorial(20), 2432902008176640000ull);
+  EXPECT_THROW((void)faults::checked_factorial(21), std::logic_error);
+}
+
+TEST(CanonChecked, MulBinomialMultichooseBoundaries) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(faults::checked_mul(0, max), 0u);
+  EXPECT_EQ(faults::checked_mul(max, 1), max);
+  EXPECT_EQ(faults::checked_mul(max / 2, 2), max - 1);
+  EXPECT_THROW((void)faults::checked_mul(max / 2 + 1, 2), std::logic_error);
+
+  EXPECT_EQ(faults::binomial(0, 0), 1u);
+  EXPECT_EQ(faults::binomial(5, 7), 0u);  // k > n is an empty choice, not UB
+  EXPECT_EQ(faults::binomial(6, 2), 15u);
+  EXPECT_EQ(faults::binomial(60, 30), 118264581564861424ull);
+  EXPECT_THROW((void)faults::binomial(70, 35), std::logic_error);
+
+  EXPECT_EQ(faults::multichoose(4, 0), 1u);
+  EXPECT_EQ(faults::multichoose(4, 3), faults::binomial(6, 3));
+  EXPECT_THROW((void)faults::multichoose(0, 1), std::logic_error);
+}
+
+TEST(CanonChecked, CanonicalCountBoundary) {
+  // Largest representable (rows, free_count) shape with no fixed digits:
+  // multichoose(4^31, 1) = 2^62 fits; rows = 32 overflows while forming
+  // the 4^rows column count and must throw, not wrap to zero columns.
+  SlotSymmetry sym;
+  sym.rows = 31;
+  sym.free_count = 1;
+  sym.slots = sym.rows * sym.free_count;
+  EXPECT_EQ(faults::canonical_count(sym), std::uint64_t{1} << 62);
+  sym.rows = 32;
+  sym.slots = sym.rows * sym.free_count;
+  EXPECT_THROW((void)faults::canonical_count(sym), std::logic_error);
+}
+
+// --------------------------------------------- subset conjugacy classes
+
+TEST(CanonProperties, SubsetClassesPartitionTheSubsets) {
+  // Brute force over every faulty subset: canonical_subset is idempotent,
+  // is the lexicographic minimum of its class (hence the class member
+  // with the smallest segment base), classes partition the C(n, f)
+  // subsets, and each class's observed population equals
+  // subset_class_size. Exactly one class per (f, sender-membership) pair.
+  for (int n : {4, 5, 6}) {
+    for (NodeId sender : {NodeId{0}, NodeId{2}}) {
+      for (int f = 0; f <= 3; ++f) {
+        SCOPED_TRACE("n=" + std::to_string(n) + " sender=" +
+                     std::to_string(sender) + " f=" + std::to_string(f));
+        std::map<std::vector<NodeId>, std::uint64_t> population;
+        std::uint64_t subsets = 0;
+        std::uint64_t representatives = 0;
+        faults::for_each_subset(n, f, [&](const std::vector<NodeId>& faulty) {
+          ++subsets;
+          const std::vector<NodeId> rep =
+              faults::canonical_subset(n, sender, faulty);
+          EXPECT_EQ(faults::canonical_subset(n, sender, rep), rep);
+          EXPECT_LE(rep, faulty);  // lex-min member of the class
+          EXPECT_EQ(faults::is_subset_representative(n, sender, faulty),
+                    rep == faulty);
+          EXPECT_EQ(faults::subset_class_size(n, sender, faulty),
+                    faults::subset_class_size(n, sender, rep));
+          if (rep == faulty) ++representatives;
+          ++population[rep];
+        });
+        EXPECT_EQ(subsets, faults::binomial(static_cast<std::uint64_t>(n),
+                                            static_cast<std::uint64_t>(f)));
+        EXPECT_EQ(representatives, population.size());
+        EXPECT_EQ(representatives, f == 0 ? 1u : 2u);
+        for (const auto& [rep, members] : population) {
+          EXPECT_EQ(members, faults::subset_class_size(n, sender, rep));
+        }
+      }
+    }
+  }
+}
+
+TEST(CanonProperties, SenderFixingPermutationsPreserveSubsetClass) {
+  // The conjugacy action itself: relabeling nodes by any permutation that
+  // fixes the sender maps a subset to one with the same canonical
+  // representative and class size.
+  const int n = 6;
+  const NodeId sender = 1;
+  Rng rng(0x5B5E7ull);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int f = 1 + static_cast<int>(rng.below(4));
+    const std::vector<int> picked = rng.subset(n, f);
+    std::vector<NodeId> faulty(picked.begin(), picked.end());
+    std::sort(faulty.begin(), faulty.end());
+    // A random permutation of the non-sender ids, identity on the sender.
+    std::vector<NodeId> others;
+    for (NodeId id = 0; id < n; ++id) {
+      if (id != sender) others.push_back(id);
+    }
+    std::vector<NodeId> shuffled = others;
+    rng.shuffle(shuffled);
+    std::vector<NodeId> pi(n);
+    pi[sender] = sender;
+    for (std::size_t i = 0; i < others.size(); ++i) pi[others[i]] = shuffled[i];
+    std::vector<NodeId> image;
+    for (NodeId id : faulty) image.push_back(pi[id]);
+    std::sort(image.begin(), image.end());
+    EXPECT_EQ(faults::canonical_subset(n, sender, image),
+              faults::canonical_subset(n, sender, faulty))
+        << "trial " << trial;
+    EXPECT_EQ(faults::subset_class_size(n, sender, image),
+              faults::subset_class_size(n, sender, faulty));
+  }
+}
+
+TEST(CanonProperties, SubsetQuotientReducesSegmentsThreefold) {
+  // The acceptance floor for (6,1,2): the quotient walks at most a third
+  // of the (sender 0) segments the receiver-canonical walk visits, and
+  // the executed-representative space shrinks by at least as much.
+  const Config config{.n = 6, .m = 1, .u = 2};
+  std::uint64_t segments = 0;
+  std::uint64_t representatives = 0;
+  for (int f = 0; f <= config.u; ++f) {
+    faults::for_each_subset(config.n, f,
+                            [&](const std::vector<NodeId>& faulty) {
+                              ++segments;
+                              if (faults::is_subset_representative(
+                                      config.n, 0, faulty)) {
+                                ++representatives;
+                              }
+                            });
+  }
+  EXPECT_EQ(segments, 22u);        // C(6,0) + C(6,1) + C(6,2)
+  EXPECT_EQ(representatives, 5u);  // {}, {0}, {1}, {0,1}, {1,2}
+  EXPECT_GE(segments, 3 * representatives);
+  EXPECT_GE(faults::behavior_search_canonical_space(config),
+            3 * faults::behavior_search_quotient_space(config));
+}
+
 // ------------------------------------- orbit invariance, all six protocols
 //
 // The soundness claim behind the reduction: relabeling the fault-free
@@ -301,8 +446,118 @@ TEST(CanonOrbitSim, SixProtocolVerdictInvariance) {
   }
 }
 
-// ----------------------------------------- corpus differential, canonical
-// vs full behaviour search
+// ------------------------------- conjugacy invariance, all six protocols
+//
+// The soundness claim behind the subset quotient: relabeling the faulty
+// subset by a sender-fixing node permutation — carrying the behaviour
+// table along slot-for-slot — permutes node names and changes nothing
+// observable. Checked against real runs of all six protocols: verdict,
+// the sender's decision, and the decision multisets of both the faulty
+// and the fault-free nodes must be identical.
+
+struct ConjugacyObservation {
+  std::string verdict;
+  std::string sender_decision;
+  std::vector<std::string> faulty_multiset;      // sorted
+  std::vector<std::string> fault_free_multiset;  // sorted
+};
+
+ConjugacyObservation observe_table(
+    Proto proto, const ScenarioSpec& spec,
+    const std::map<std::pair<NodeId, NodeId>, Value>& table,
+    const SignatureAuthority& authority) {
+  MapAdversary adversary(table);
+  sim::RunOptions options;
+  options.faulty = spec.faulty;
+  options.adversary = &adversary;
+  const sim::RunResult result =
+      sim::SyncRunner(processes_for(proto, spec, authority), std::move(options))
+          .run();
+  ConjugacyObservation obs;
+  const ConditionReport report = check_conditions(spec, result.decisions);
+  obs.verdict = std::string(to_string(report.applied)) +
+                (report.satisfied ? "+" : "-");
+  for (const auto& [node, value] : result.decisions) {
+    const bool is_faulty = std::find(spec.faulty.begin(), spec.faulty.end(),
+                                     node) != spec.faulty.end();
+    if (node == spec.sender) obs.sender_decision = value.to_string();
+    if (is_faulty) {
+      obs.faulty_multiset.push_back(value.to_string());
+    } else if (node != spec.sender) {
+      obs.fault_free_multiset.push_back(value.to_string());
+    }
+  }
+  std::sort(obs.faulty_multiset.begin(), obs.faulty_multiset.end());
+  std::sort(obs.fault_free_multiset.begin(), obs.fault_free_multiset.end());
+  return obs;
+}
+
+TEST(CanonOrbitSim, SixProtocolSubsetConjugacyInvariance) {
+  // Non-canonical faulty subsets paired with a sender-fixing relabeling
+  // that maps them to their class representative.
+  const std::vector<std::pair<Proto, ScenarioSpec>> cases = {
+      {Proto::kByz, spec_of(4, {2})},      {Proto::kByz, spec_of(5, {2, 4})},
+      {Proto::kOm, spec_of(4, {3})},       {Proto::kCrusader, spec_of(4, {2})},
+      {Proto::kSm, spec_of(4, {3})},       {Proto::kIc, spec_of(4, {2})},
+      {Proto::kDic, spec_of(5, {2, 4})},
+  };
+  for (const auto& [proto, spec] : cases) {
+    SCOPED_TRACE(spec.to_string() + " proto " +
+                 std::to_string(static_cast<int>(proto)));
+    ASSERT_FALSE(faults::is_subset_representative(spec.config.n, spec.sender,
+                                                  spec.faulty));
+    // A sender-fixing permutation carrying faulty -> canonical_subset:
+    // map each faulty node to its canonical counterpart, then biject the
+    // remaining honest non-senders onto what is left, in ascending order.
+    const std::vector<NodeId> rep =
+        faults::canonical_subset(spec.config.n, spec.sender, spec.faulty);
+    std::vector<NodeId> pi(spec.config.n, -1);
+    pi[spec.sender] = spec.sender;
+    for (std::size_t i = 0; i < spec.faulty.size(); ++i) {
+      pi[spec.faulty[i]] = rep[i];
+    }
+    NodeId next = 0;
+    for (NodeId id = 0; id < spec.config.n; ++id) {
+      if (pi[id] != -1) continue;
+      while (pi[spec.sender] == next ||
+             std::find(rep.begin(), rep.end(), next) != rep.end()) {
+        ++next;
+      }
+      pi[id] = next++;
+    }
+
+    ScenarioSpec conjugate = spec;
+    conjugate.faulty = rep;
+    const SignatureAuthority authority(0x51Full, spec.config.n);
+    const auto slots = slots_for(spec);
+    const std::array<Value, 4> alphabet = {spec.sender_value, Value::of(100001),
+                                           Value::of(100002), Value::def()};
+    const std::uint64_t space = pow4(slots.size());
+    const std::uint64_t stride = space <= 1024 ? 1 : space / 512;
+    for (std::uint64_t c = 0; c < space; c += stride) {
+      std::map<std::pair<NodeId, NodeId>, Value> table;
+      std::map<std::pair<NodeId, NodeId>, Value> conjugate_table;
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        const Value v =
+            alphabet[faults::behavior_digit(c, slots.size(), i)];
+        table[slots[i]] = v;
+        conjugate_table[{pi[slots[i].first], pi[slots[i].second]}] = v;
+      }
+      const ConjugacyObservation base =
+          observe_table(proto, spec, table, authority);
+      const ConjugacyObservation moved =
+          observe_table(proto, conjugate, conjugate_table, authority);
+      ASSERT_EQ(base.verdict, moved.verdict) << "counter " << c;
+      ASSERT_EQ(base.sender_decision, moved.sender_decision) << "counter " << c;
+      ASSERT_EQ(base.faulty_multiset, moved.faulty_multiset) << "counter " << c;
+      ASSERT_EQ(base.fault_free_multiset, moved.fault_free_multiset)
+          << "counter " << c;
+    }
+  }
+}
+
+// ----------------------------------------- corpus differential, the full
+// walk vs the receiver-canonical walk vs the subset-quotient walk
 
 std::uint64_t first_hit_of(const sweep::SweepStats& stats) {
   std::uint64_t best = sweep::kNoHit;
@@ -318,9 +573,11 @@ struct SearchOutcome {
   sweep::SweepStats stats;
 };
 
-SearchOutcome run_search(const Config& config, bool symmetry, int jobs) {
+SearchOutcome run_search(const Config& config, bool symmetry,
+                         bool subset_symmetry, int jobs) {
   faults::BehaviorSearchOptions options;
   options.symmetry = symmetry;
+  options.subset_symmetry = subset_symmetry;
   sweep::SweepOptions sweep_options;
   sweep_options.jobs = jobs;
   SearchOutcome out;
@@ -336,24 +593,36 @@ void check_differential(const Config& config) {
   const std::uint64_t space = faults::behavior_search_space(config);
   const std::uint64_t canonical_space =
       faults::behavior_search_canonical_space(config);
+  const std::uint64_t quotient_space =
+      faults::behavior_search_quotient_space(config);
   ASSERT_LE(canonical_space, space);
+  ASSERT_LE(quotient_space, canonical_space);
 
-  const SearchOutcome full = run_search(config, /*symmetry=*/false, 1);
-  const SearchOutcome canon = run_search(config, /*symmetry=*/true, 1);
+  const SearchOutcome full =
+      run_search(config, /*symmetry=*/false, /*subset_symmetry=*/false, 1);
+  const SearchOutcome canon =
+      run_search(config, /*symmetry=*/true, /*subset_symmetry=*/false, 1);
+  const SearchOutcome quotient =
+      run_search(config, /*symmetry=*/true, /*subset_symmetry=*/true, 1);
 
-  // The tentpole equivalence: verdict and first-hit ordinal survive the
-  // reduction exactly.
+  // The tentpole equivalence, one rung at a time: verdict and first-hit
+  // ordinal survive the receiver-relabeling reduction and the composed
+  // subset quotient exactly.
   EXPECT_EQ(full.adversary, canon.adversary);
   EXPECT_EQ(full.first_hit, canon.first_hit);
+  EXPECT_EQ(full.adversary, quotient.adversary);
+  EXPECT_EQ(full.first_hit, quotient.first_hit);
 
   if (full.first_hit == sweep::kNoHit) {
     // Clean sweeps reconcile their counts against the whole space: the
-    // full walk executes every ordinal; the canonical walk executes one
-    // representative per orbit but weights it back to the same total.
+    // full walk executes every ordinal; each reduced walk executes fewer
+    // representatives but weights them back to the identical total.
     EXPECT_EQ(full.stats.executions, space);
     EXPECT_EQ(full.stats.weighted_executions, space);
     EXPECT_EQ(canon.stats.executions, canonical_space);
     EXPECT_EQ(canon.stats.weighted_executions, space);
+    EXPECT_EQ(quotient.stats.executions, quotient_space);
+    EXPECT_EQ(quotient.stats.weighted_executions, space);
   } else {
     // Violating sweeps pin the first hit instead: the winning behaviour
     // rematerializes to the same adversary through the scratch path.
@@ -363,15 +632,25 @@ void check_differential(const Config& config) {
   }
 
   // Canonical counts are canonical: a different jobs value must not move
-  // the verdict, the hit, or either execution counter.
-  const SearchOutcome wide = run_search(config, /*symmetry=*/true, 3);
-  EXPECT_EQ(canon.adversary, wide.adversary);
-  EXPECT_EQ(canon.first_hit, wide.first_hit);
-  EXPECT_EQ(canon.stats.executions, wide.stats.executions);
-  EXPECT_EQ(canon.stats.weighted_executions, wide.stats.weighted_executions);
+  // the verdict, the hit, or either execution counter — for either
+  // reduced walk.
+  const SearchOutcome canon_wide =
+      run_search(config, /*symmetry=*/true, /*subset_symmetry=*/false, 3);
+  EXPECT_EQ(canon.adversary, canon_wide.adversary);
+  EXPECT_EQ(canon.first_hit, canon_wide.first_hit);
+  EXPECT_EQ(canon.stats.executions, canon_wide.stats.executions);
+  EXPECT_EQ(canon.stats.weighted_executions,
+            canon_wide.stats.weighted_executions);
+  const SearchOutcome quotient_wide =
+      run_search(config, /*symmetry=*/true, /*subset_symmetry=*/true, 3);
+  EXPECT_EQ(quotient.adversary, quotient_wide.adversary);
+  EXPECT_EQ(quotient.first_hit, quotient_wide.first_hit);
+  EXPECT_EQ(quotient.stats.executions, quotient_wide.stats.executions);
+  EXPECT_EQ(quotient.stats.weighted_executions,
+            quotient_wide.stats.weighted_executions);
 }
 
-TEST(CanonicalizationCorpus, FullVersusCanonicalReplay) {
+TEST(CanonicalizationCorpus, ThreeWayDifferentialReplay) {
   std::ifstream in(std::string(DA_TEST_CORPUS_DIR) + "/canonicalization.txt");
   ASSERT_TRUE(in.is_open()) << "missing tests/corpus/canonicalization.txt";
   std::string line;

@@ -46,16 +46,33 @@ faults::Frontier settle(const Config& config, int jobs = 1) {
 TEST(Frontier, SerializeParseRoundTrip) {
   const faults::Frontier fresh = faults::init_behavior_frontier(kViolating);
   ASSERT_GT(fresh.shards.size(), 1u);
+  ASSERT_FALSE(fresh.classes.empty());  // quotiented by default: v2
   EXPECT_TRUE(fresh.covers_space());
   EXPECT_FALSE(fresh.settled());
   EXPECT_EQ(fresh.best_hit(), sweep::kNoHit);
 
   const std::string text = serialize_frontier(fresh);
+  EXPECT_EQ(text.rfind("da-frontier v2\n", 0), 0u);
   const faults::FrontierParse parsed = faults::parse_frontier(text);
   ASSERT_TRUE(parsed.ok()) << parsed.error;
   EXPECT_EQ(serialize_frontier(*parsed.frontier), text);
   EXPECT_EQ(parsed.frontier->space, fresh.space);
   EXPECT_EQ(parsed.frontier->shards.size(), fresh.shards.size());
+  EXPECT_EQ(parsed.frontier->classes.size(), fresh.classes.size());
+
+  // The unquotiented plan keeps serializing in the v1 format, and still
+  // covers the (larger, gapless) shard set.
+  const faults::Frontier plain =
+      faults::init_behavior_frontier(kViolating, -1, 1,
+                                     /*subset_symmetry=*/false);
+  EXPECT_TRUE(plain.classes.empty());
+  EXPECT_TRUE(plain.covers_space());
+  EXPECT_GT(plain.shards.size(), fresh.shards.size());
+  const std::string plain_text = serialize_frontier(plain);
+  EXPECT_EQ(plain_text.rfind("da-frontier v1\n", 0), 0u);
+  const faults::FrontierParse plain_parsed = faults::parse_frontier(plain_text);
+  ASSERT_TRUE(plain_parsed.ok()) << plain_parsed.error;
+  EXPECT_EQ(serialize_frontier(*plain_parsed.frontier), plain_text);
 
   // A settled frontier (cursors, counters and a hit populated) must
   // round-trip just as exactly.
@@ -80,8 +97,8 @@ TEST(Frontier, ParserRejectsDamage) {
 
   EXPECT_EQ(error_of(""), "empty frontier");
   EXPECT_EQ(error_of("something else\n"), "not a frontier file");
-  EXPECT_EQ(error_of("da-frontier v2\nconfig 4 1 2 2 1 3952\nend 0\n"),
-            "unsupported frontier version: v2");
+  EXPECT_EQ(error_of("da-frontier v3\nconfig 4 1 2 2 1 3952\nend 0\n"),
+            "unsupported frontier version: v3");
   EXPECT_EQ(error_of("da-frontier v1\n"), "truncated frontier: no config");
   EXPECT_EQ(error_of("da-frontier v1\nconfig 4 x\nend 0\n"),
             "malformed config line");
@@ -119,6 +136,34 @@ TEST(Frontier, ParserRejectsDamage) {
             "malformed shard hit");
   EXPECT_EQ(error_of(with_shards("record 0 16 0 0 0 -\n", 1)),
             "unknown record: record");
+
+  // v2 class-table damage, spliced into a minimal quotiented frontier
+  // (one 16-ordinal class standing for 247 conjugates: 16*247 = 3952).
+  const std::string v2_header = "da-frontier v2\nconfig 4 1 2 2 1 3952\n";
+  const auto v2_with = [&](const std::string& body, int count) {
+    return v2_header + body + "end " + std::to_string(count) + "\n";
+  };
+  EXPECT_EQ(error_of(v2_with("", 0)), "v2 frontier without class records");
+  EXPECT_EQ(error_of(with_shards("class 0 16 247\n", 0)),
+            "class record in a v1 frontier");
+  EXPECT_EQ(error_of(v2_with("class 0 16 x\n", 0)), "malformed class line");
+  EXPECT_EQ(error_of(v2_with("class 0 16 247\nshard 0 16 0 0 0 -\n"
+                             "class 0 16 247\n",
+                             1)),
+            "class record after shard records");
+  EXPECT_EQ(error_of(v2_with("class 0 0 247\n", 0)), "invalid class record");
+  EXPECT_EQ(error_of(v2_with("class 0 9999 1\n", 0)), "class beyond space");
+  EXPECT_EQ(error_of(v2_with("class 0 16 1\nclass 0 16 246\n", 0)),
+            "duplicate class");
+  EXPECT_EQ(error_of(v2_with("class 0 16 1\nclass 8 16 246\n", 0)),
+            "overlapping classes");
+  EXPECT_EQ(error_of(v2_with("class 0 16 246\n", 0)),
+            "class weights do not reconcile to the space");
+  EXPECT_EQ(
+      error_of(v2_with("class 0 16 1152921504606846976\n", 0)),
+      "class weights overflow");
+  EXPECT_EQ(error_of(v2_with("class 0 16 247\nshard 16 32 16 0 0 -\n", 1)),
+            "shard outside class ranges");
 }
 
 TEST(Frontier, SplitMergeIsLossless) {
@@ -185,7 +230,7 @@ TEST(FrontierRun, CleanSweepReconcilesCounts) {
     executions += shard.executions;
     weighted += shard.weighted;
   }
-  EXPECT_EQ(executions, faults::behavior_search_canonical_space(kClean));
+  EXPECT_EQ(executions, faults::behavior_search_quotient_space(kClean));
   EXPECT_EQ(weighted, faults::behavior_search_space(kClean));
   EXPECT_EQ(weighted, frontier.space);
 }
@@ -273,20 +318,55 @@ TEST(FrontierRun, RejectsForeignShardPlans) {
 }
 
 TEST(FrontierRun, UnreducedRunFindsTheSameHit) {
-  faults::Frontier canonical = faults::init_behavior_frontier(kViolating);
-  faults::Frontier full = faults::init_behavior_frontier(kViolating);
+  // Three rungs of the reduction ladder: fully quotiented (v2 frontier,
+  // receiver orbits on), subset quotient only (v2, receiver orbits off),
+  // and completely unreduced (v1 frontier, both off). All three must
+  // settle on the same hit ordinal and the same rematerialized adversary.
+  faults::Frontier quotient = faults::init_behavior_frontier(kViolating);
+  faults::Frontier subset_only = faults::init_behavior_frontier(kViolating);
+  faults::Frontier full = faults::init_behavior_frontier(
+      kViolating, -1, 1, /*subset_symmetry=*/false);
   faults::FrontierRunOptions options;
-  const faults::FrontierRun canon_run =
-      faults::run_behavior_frontier(canonical, options);
+  const faults::FrontierRun quotient_run =
+      faults::run_behavior_frontier(quotient, options);
   options.symmetry = false;
+  const faults::FrontierRun subset_run =
+      faults::run_behavior_frontier(subset_only, options);
   const faults::FrontierRun full_run =
       faults::run_behavior_frontier(full, options);
-  ASSERT_TRUE(canon_run.error.empty() && full_run.error.empty());
-  ASSERT_TRUE(canon_run.settled && full_run.settled);
-  EXPECT_EQ(canonical.best_hit(), full.best_hit());
-  ASSERT_TRUE(canon_run.violation.has_value());
+  ASSERT_TRUE(quotient_run.error.empty()) << quotient_run.error;
+  ASSERT_TRUE(subset_run.error.empty()) << subset_run.error;
+  ASSERT_TRUE(full_run.error.empty()) << full_run.error;
+  ASSERT_TRUE(quotient_run.settled && subset_run.settled && full_run.settled);
+  EXPECT_EQ(quotient.best_hit(), full.best_hit());
+  EXPECT_EQ(subset_only.best_hit(), full.best_hit());
+  ASSERT_TRUE(quotient_run.violation.has_value());
+  ASSERT_TRUE(subset_run.violation.has_value());
   ASSERT_TRUE(full_run.violation.has_value());
-  EXPECT_EQ(canon_run.violation->adversary, full_run.violation->adversary);
+  EXPECT_EQ(quotient_run.violation->adversary, full_run.violation->adversary);
+  EXPECT_EQ(subset_run.violation->adversary, full_run.violation->adversary);
+}
+
+TEST(FrontierRun, QuotientAndPlainFrontiersResumeTheirOwnPlans) {
+  // A v1 file keeps resuming against the unquotiented plan; a v2 file
+  // against the quotiented one. Tampered class tables are rejected.
+  faults::Frontier plain = faults::init_behavior_frontier(
+      kClean, -1, 1, /*subset_symmetry=*/false);
+  const faults::FrontierRun plain_run = faults::run_behavior_frontier(plain);
+  ASSERT_TRUE(plain_run.error.empty()) << plain_run.error;
+  EXPECT_TRUE(plain_run.settled);
+  EXPECT_EQ(plain_run.stats.executions,
+            faults::behavior_search_canonical_space(kClean));
+
+  // A class table that disagrees with the search's own quotient plan is
+  // rejected up front, before any shard executes.
+  faults::Frontier tampered = faults::init_behavior_frontier(kClean);
+  ASSERT_GE(tampered.classes.size(), 2u);
+  std::swap(tampered.classes.front().weight, tampered.classes.back().weight);
+  ASSERT_NE(tampered.classes.front().weight, tampered.classes.back().weight);
+  const faults::FrontierRun run = faults::run_behavior_frontier(tampered);
+  EXPECT_FALSE(run.error.empty());
+  EXPECT_NE(run.error.find("class"), std::string::npos) << run.error;
 }
 
 }  // namespace

@@ -114,6 +114,40 @@ TEST(ShardPlan, MixedSegmentsConcatenate) {
   EXPECT_EQ(plan.total(), 21u);
 }
 
+TEST(ShardPlan, SkipLeavesGapsNoShardCovers) {
+  // A quotiented enumeration drops whole segments: skip() advances the
+  // ordinal space without creating shards, so gap ordinals never run.
+  ShardPlan plan;
+  const std::uint64_t gap0 = plan.skip(16);          // [0, 16) skipped
+  const std::uint64_t base0 = plan.append_pow4(2);   // [16, 32)
+  const std::uint64_t gap1 = plan.skip(48);          // [32, 80) skipped
+  const std::uint64_t base1 = plan.append_even(4, 2);  // [80, 84)
+  EXPECT_EQ(gap0, 0u);
+  EXPECT_EQ(base0, 16u);
+  EXPECT_EQ(gap1, 32u);
+  EXPECT_EQ(base1, 80u);
+  EXPECT_EQ(plan.total(), 84u);
+  for (const ShardRange& r : plan.shards()) {
+    EXPECT_TRUE((r.begin >= 16 && r.end <= 32) || r.begin >= 80)
+        << "shard [" << r.begin << ", " << r.end << ") inside a gap";
+  }
+  // The sweep engine never visits gap ordinals.
+  std::vector<std::atomic<int>> seen(84);
+  SweepOptions options;
+  options.jobs = 3;
+  const auto result = run_sweep(
+      plan, options, [&](std::uint64_t o, std::size_t, Rng&) -> Visit {
+        seen[o].fetch_add(1);
+        return {};
+      });
+  EXPECT_FALSE(result.first_hit.has_value());
+  EXPECT_EQ(result.stats.executions, 20u);
+  for (std::uint64_t o = 0; o < 84; ++o) {
+    const bool planned = (o >= 16 && o < 32) || o >= 80;
+    EXPECT_EQ(seen[o].load(), planned ? 1 : 0) << o;
+  }
+}
+
 // -------------------------------------------------------------- engine --
 
 TEST(RunSweep, VisitsEveryOrdinalWhenNothingHits) {
@@ -310,10 +344,11 @@ TEST(SweepDeterminism, BehaviourSearchVerdictAndCountMatchAcrossJobs) {
             .has_value())
         << jobs;
     // No violation: the walk executes exactly the canonical orbit
-    // representatives, and their orbit-weighted sum reconciles to the
-    // whole (unreduced) behaviour space.
+    // representatives of the representative conjugacy subsets, and their
+    // (orbit size x class size)-weighted sum reconciles to the whole
+    // (unreduced) behaviour space.
     EXPECT_EQ(stats.executions,
-              faults::behavior_search_canonical_space(solid))
+              faults::behavior_search_quotient_space(solid))
         << jobs;
     EXPECT_EQ(stats.weighted_executions, faults::behavior_search_space(solid))
         << jobs;

@@ -4,6 +4,7 @@
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
                         [--metric COLUMN] [--quantile-threshold PCT]
+                        [--require-rows NAME ...]
     tools/bench_diff.py --self-test
 
 Both files follow the schema written by ``da::obs::BenchReporter`` (see
@@ -28,11 +29,18 @@ Two advisory passes ride along:
   printed as ``<< CHANGED`` but never fails the run: features legitimately
   move latency, the diff just makes the move visible.
 
+``--require-rows NAME`` (repeatable) turns a missing candidate row into a
+hard failure: the run exits 1 unless the candidate carries a benchmark
+named ``NAME`` exactly or a parameterization of it (``NAME/...``). Rows
+the benchmark suite is *supposed* to produce — the ablation rows CI keys
+on — thus cannot silently vanish behind the advisory REMOVED note.
+
 Exit status: 0 when no benchmarks-table row regressed past the threshold
 (including when either report carries no benchmarks table at all — old
-baselines), 1 when at least one did. CI runs this as an advisory step:
+baselines), 1 when at least one did or a ``--require-rows`` name is
+absent from the candidate. CI runs the timing diff as an advisory step:
 shared-runner timing noise means a red result is a prompt to look, not a
-gate.
+gate. Required-row failures are not noise and are enforced.
 
 ``--self-test`` runs the built-in unit checks (synthetic reports through
 the real comparison path) and exits 0/1; ctest wires this in as the
@@ -161,6 +169,7 @@ def compare(
     metric: str = "real_ms",
     threshold: float = 15.0,
     quantile_threshold: float = 5.0,
+    require_rows: list[str] | None = None,
     baseline_path: str = "<baseline>",
     candidate_path: str = "<candidate>",
 ) -> tuple[int, list[str]]:
@@ -216,6 +225,26 @@ def compare(
 
     qlines, _ = diff_quantiles(baseline, candidate, quantile_threshold)
     lines.extend(qlines)
+
+    # Required rows gate on the *candidate*: a name matches itself or any
+    # parameterization of itself (NAME/...), so one entry covers a whole
+    # google-benchmark Args family.
+    missing_required = []
+    for required in require_rows or []:
+        present = cand_rows is not None and any(
+            name == required or name.startswith(required + "/")
+            for name in cand_rows
+        )
+        if not present:
+            missing_required.append(required)
+    if missing_required:
+        lines.append(
+            f"\n{len(missing_required)} required row(s) MISSING from the "
+            "candidate (the benchmark suite no longer produces them):"
+        )
+        for required in missing_required:
+            lines.append(f"  {required}")
+        return 1, lines
 
     if regressions:
         lines.append(
@@ -455,7 +484,52 @@ def self_test() -> int:
         == 2,
     )
 
-    # 9. Malformed quantile entries are skipped, not fatal.
+    # 9. --require-rows: a present row (exact or parameterized) passes; a
+    # missing one fails hard even though REMOVED alone stays advisory.
+    subset_rows = {
+        "BM_BehaviorSearchSubsetCanonical/5/0": 8.0,
+        "BM_BehaviorSearchSubsetCanonical/5/1": 2.0,
+    }
+    status, lines = compare(
+        _report(benchmarks=subset_rows),
+        _report(benchmarks=subset_rows),
+        require_rows=["BM_BehaviorSearchSubsetCanonical"],
+    )
+    check("required parameterized row present exits 0", status == 0)
+    status, lines = compare(
+        _report(benchmarks=subset_rows),
+        _report(benchmarks={"BM_A": 1.0}),
+        require_rows=["BM_BehaviorSearchSubsetCanonical"],
+    )
+    check("required row missing exits 1", status == 1)
+    check(
+        "missing required row is named",
+        any(
+            "MISSING" in line or "BM_BehaviorSearchSubsetCanonical" == line.strip()
+            for line in lines
+        )
+        and any("MISSING" in line for line in lines),
+    )
+    status, _ = compare(
+        _report(benchmarks=subset_rows),
+        _report(benchmarks={"BM_BehaviorSearchSubsetCanonicalX/5/1": 2.0}),
+        require_rows=["BM_BehaviorSearchSubsetCanonical"],
+    )
+    check("prefix match requires a '/' boundary", status == 1)
+    status, _ = compare(
+        _report(benchmarks=subset_rows),
+        _report(benchmarks=None),
+        require_rows=["BM_BehaviorSearchSubsetCanonical"],
+    )
+    check("required rows fail on a missing benchmarks table", status == 1)
+    status, _ = compare(
+        _report(benchmarks={"BM_A": 10.0}),
+        _report(benchmarks={"BM_A": 10.0, **subset_rows}),
+        require_rows=["BM_BehaviorSearchSubsetCanonical", "BM_A"],
+    )
+    check("multiple required rows all present exit 0", status == 0)
+
+    # 10. Malformed quantile entries are skipped, not fatal.
     status, _ = compare(
         _report(benchmarks={"BM_A": 1.0}, quantiles={"bad": {"p50": 1.0}}),
         _report(benchmarks={"BM_A": 1.0}, quantiles=base_q),
@@ -498,6 +572,14 @@ def main() -> int:
         "(default: %(default)s)",
     )
     parser.add_argument(
+        "--require-rows",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless the candidate carries this benchmark row (exact "
+        "name or NAME/<args> parameterization); repeatable",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="run the built-in unit checks and exit",
@@ -515,6 +597,7 @@ def main() -> int:
         metric=args.metric,
         threshold=args.threshold,
         quantile_threshold=args.quantile_threshold,
+        require_rows=args.require_rows,
         baseline_path=args.baseline,
         candidate_path=args.candidate,
     )

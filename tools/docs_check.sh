@@ -33,9 +33,10 @@
 #      docs/OBSERVABILITY.md must occur in the emitted JSONL, so the
 #      documented span schema cannot drift from what the service records.
 #  10. with --frontier-check BIN (the built examples/search_resume.cpp),
-#      the ```frontier fence in docs/SEARCH.md is written to a file and
-#      fed to `BIN status --frontier`, so the documented frontier example
-#      cannot drift from the format the real parser accepts.
+#      every ```frontier fence in docs/SEARCH.md is written to its own
+#      file and fed to `BIN status --frontier` individually, so each
+#      documented frontier example (the v1 plan and the v2 quotient) must
+#      parse with the real parser on its own.
 #
 # Usage: docs_check.sh [--bench-json FILE] [--plan-check BIN]
 #                      [--service-demo BIN] [--span-check BIN]
@@ -239,21 +240,33 @@ if [ -n "$span_check" ]; then
   fi
 fi
 
-# 10. The SEARCH.md example frontier must parse with the real parser.
+# 10. Every SEARCH.md example frontier must parse with the real parser —
+# each ```frontier fence is validated on its own, not concatenated.
 if [ -n "$frontier_check" ]; then
   if [ ! -x "$frontier_check" ]; then
     fail "--frontier-check: $frontier_check is not executable"
   elif [ ! -e docs/SEARCH.md ]; then
     fail "--frontier-check given but docs/SEARCH.md is missing"
   else
-    awk '/^```frontier$/{grab=1; next} /^```$/{grab=0} grab' docs/SEARCH.md \
-      > "$tmpdir/frontier"
-    if [ ! -s "$tmpdir/frontier" ]; then
+    fence_count=$(awk -v dir="$tmpdir" '
+      /^```frontier$/ { grab = 1; ++n; next }
+      /^```$/         { grab = 0 }
+      grab            { print > (dir "/frontier." n) }
+      END             { print n }' docs/SEARCH.md)
+    if [ "${fence_count:-0}" -eq 0 ]; then
       fail "no \`\`\`frontier fence found in docs/SEARCH.md"
-    elif ! "$frontier_check" status --frontier "$tmpdir/frontier" \
-           > /dev/null 2> "$tmpdir/frontier_err"; then
-      cat "$tmpdir/frontier_err" >&2
-      fail "docs/SEARCH.md example frontier rejected by the parser"
+    else
+      i=1
+      while [ "$i" -le "$fence_count" ]; do
+        if [ ! -s "$tmpdir/frontier.$i" ]; then
+          fail "docs/SEARCH.md \`\`\`frontier fence #$i is empty"
+        elif ! "$frontier_check" status --frontier "$tmpdir/frontier.$i" \
+               > /dev/null 2> "$tmpdir/frontier_err"; then
+          cat "$tmpdir/frontier_err" >&2
+          fail "docs/SEARCH.md \`\`\`frontier fence #$i rejected by the parser"
+        fi
+        i=$((i + 1))
+      done
     fi
   fi
 fi
